@@ -1,0 +1,82 @@
+"""Extension bench — next-generation hardware projection.
+
+The paper's abstract promises that hardware modifications proposed in the
+authors' concurrent work [19] "can improve performance by up to six
+orders of magnitude", and §7 repeats that "it is reasonable to expect
+significantly improved performance in future versions of this
+technology".  This bench swaps in the projected timing profile and
+re-runs the paper's most overhead-sensitive experiments.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record
+from repro.apps.distributed import BOINCClient, FactoringWorkUnit, flicker_efficiency
+from repro.apps.ssh_auth import PasswdEntry, SSHClient, SSHServer
+from repro.core import FlickerPlatform
+from repro.sim.timing import DEFAULT_PROFILE, FUTURE_HW_PROFILE
+
+
+def measure_overheads(profile):
+    platform = FlickerPlatform(profile=profile, seed=2468)
+    client = BOINCClient(platform)
+    unit = FactoringWorkUnit(unit_id=1, n=15015, start=2, end=4)
+    progress = client.start_unit(unit)
+    clock = platform.machine.clock
+    before = clock.now()
+    client.work_slice(progress, slice_ms=1000.0)
+    session_overhead = (clock.now() - before) - 1000.0
+
+    server = SSHServer(platform)
+    server.add_user(PasswdEntry.create("alice", b"pw-secret", b"fLiCkEr1"))
+    outcome = SSHClient(platform).connect_and_login(server, "alice", b"pw-secret")
+
+    return {
+        "session_overhead_ms": session_overhead,
+        "ssh_prompt_ms": outcome.time_to_prompt_ms,
+        "ssh_entry_ms": outcome.time_after_entry_ms,
+        "authenticated": outcome.authenticated,
+    }
+
+
+def test_future_hardware_projection(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "today": measure_overheads(DEFAULT_PROFILE),
+            "future": measure_overheads(FUTURE_HW_PROFILE),
+        },
+        rounds=1, iterations=1,
+    )
+    today, future = results["today"], results["future"]
+    print_table(
+        "Future hardware ([19] projection) vs the 2008 testbed",
+        ["Quantity", "2008 testbed", "Projection", "Unmodified sshd (paper)"],
+        [
+            ("per-session Flicker overhead (ms)",
+             f"{today['session_overhead_ms']:.1f}",
+             f"{future['session_overhead_ms']:.3f}", "—"),
+            ("SSH connect → prompt (ms)",
+             f"{today['ssh_prompt_ms']:.0f}", f"{future['ssh_prompt_ms']:.0f}", "210"),
+            ("SSH entry → session (ms)",
+             f"{today['ssh_entry_ms']:.0f}", f"{future['ssh_entry_ms']:.1f}", "10"),
+            ("Fig. 8 efficiency @ 1 s",
+             f"{flicker_efficiency(1000, today['session_overhead_ms']):.2f}",
+             f"{flicker_efficiency(1000, future['session_overhead_ms']):.4f}", "—"),
+        ],
+    )
+    record(benchmark, today=today, future=future)
+
+    assert today["authenticated"] and future["authenticated"]
+    # The TPM-bound overhead collapses to low single-digit milliseconds;
+    # the residual is OS suspend/resume bookkeeping, which [19]'s TPM-side
+    # proposals do not remove (their multicore proposal does — see
+    # bench_attestation_comparison).  The *TPM share* alone falls by six
+    # orders (898 ms → 5 µs unseal).
+    assert future["session_overhead_ms"] < today["session_overhead_ms"] / 500
+    assert future["session_overhead_ms"] < 2.5
+    assert FUTURE_HW_PROFILE.tpm.unseal_ms(20) < DEFAULT_PROFILE.tpm.unseal_ms(20) / 100_000
+    # At 1-second sessions, Flicker efficiency becomes essentially perfect.
+    assert flicker_efficiency(1000, future["session_overhead_ms"]) > 0.99
+    # And the SSH password path approaches the unmodified server's cost:
+    # the post-entry latency falls from ~940 ms to single-digit ms.
+    assert future["ssh_entry_ms"] < 25.0

@@ -1,0 +1,78 @@
+"""Extension bench — Flicker over Intel TXT vs AMD SVM.
+
+No paper counterpart (the paper implemented on AMD only and asserted the
+TXT path "functions analogously"); this bench demonstrates the analogy
+quantitatively: same session semantics and attestation guarantees, with
+the launch-cost difference coming from what each instruction streams to
+the TPM (SVM: the SLB or its 4736-byte stub; TXT: the SINIT ACM plus the
+full MLE).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, record
+from repro.core import FlickerPlatform, PAL
+
+
+class CrossVendorPAL(PAL):
+    name = "cross-vendor"
+    modules = ("tpm_utils",)
+
+    def run(self, ctx):
+        ctx.tpm.pcr_read()
+        ctx.write_output(b"portable")
+
+
+def run_both():
+    nonce = b"\x77" * 20
+    out = {}
+
+    svm = FlickerPlatform(seed=9090)
+    session = svm.execute_pal(CrossVendorPAL(), nonce=nonce)
+    attestation = svm.attest(nonce, session)
+    assert svm.verifier().verify(attestation, session.image, nonce).ok
+    out["svm"] = {
+        "launch_ms": session.phase_ms["skinit"],
+        "total_ms": session.total_ms,
+        "outputs": session.outputs,
+    }
+
+    txt = FlickerPlatform(seed=9090, launch="txt")
+    session = txt.execute_pal(CrossVendorPAL(), nonce=nonce)
+    attestation = txt.attest(nonce, session)
+    assert txt.verifier().verify_txt(
+        attestation, session.image, txt.acm.measurement, nonce
+    ).ok
+    out["txt"] = {
+        "launch_ms": session.phase_ms["senter"],
+        "total_ms": session.total_ms,
+        "outputs": session.outputs,
+        "measured_bytes": session.image.measured_length + len(txt.acm.code),
+    }
+    return out
+
+
+def test_txt_vs_svm_launch(benchmark):
+    m = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_table(
+        "Extension: Flicker over Intel TXT vs AMD SVM",
+        ["Quantity", "SVM (SKINIT)", "TXT (SENTER)"],
+        [
+            ("launch instruction (ms)", f"{m['svm']['launch_ms']:.1f}",
+             f"{m['txt']['launch_ms']:.1f}"),
+            ("session total (ms)", f"{m['svm']['total_ms']:.1f}",
+             f"{m['txt']['total_ms']:.1f}"),
+            ("PAL outputs identical", "—",
+             "yes" if m["svm"]["outputs"] == m["txt"]["outputs"] else "NO"),
+        ],
+    )
+    record(benchmark,
+           svm_launch_ms=m["svm"]["launch_ms"],
+           txt_launch_ms=m["txt"]["launch_ms"])
+
+    # Same application behaviour on both vendors.
+    assert m["svm"]["outputs"] == m["txt"]["outputs"] == b"portable"
+    # TXT streams ACM + full MLE, so its launch costs more than the
+    # stub-optimized SKINIT; both stay in the tens-of-ms regime.
+    assert m["txt"]["launch_ms"] > m["svm"]["launch_ms"]
+    assert m["txt"]["launch_ms"] < 120.0

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper's §7.  The
+numbers of interest are *virtual-time* measurements from the simulation;
+pytest-benchmark measures the wall time of running the simulation itself
+(useful for tracking simulator performance) while the paper-vs-measured
+comparison is attached as ``extra_info`` and printed as a table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import pytest
+
+from repro.core import FlickerPlatform
+
+
+@pytest.fixture
+def platform() -> FlickerPlatform:
+    """A freshly assembled platform per benchmark."""
+    return FlickerPlatform(seed=1022)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a paper-style comparison table to stdout (visible with
+    ``pytest -s`` and in captured bench logs)."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "+".join("-" * (w + 2) for w in widths)
+    out: List[str] = ["", f"== {title} ==", line]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(line)
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    out.append(line)
+    print("\n".join(out))
+
+
+def record(benchmark, **extra) -> None:
+    """Attach paper-vs-measured values to the benchmark record."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A Flicker-protected certificate authority (paper §6.3.2).
+
+The CA's RSA signing key is generated inside a PAL and sealed to it; a
+compromised server can submit CSRs but can never extract the key.  The
+in-PAL policy filters malicious requests and the sealed certificate
+database logs every decision.
+
+Run:  python examples/certificate_authority.py
+"""
+
+from repro.apps.ca import (
+    CertificateAuthority,
+    CertificateSigningRequest,
+    SigningPolicy,
+)
+from repro.core import FlickerPlatform
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import TPMPolicyError
+from repro.sim.rng import DeterministicRNG
+from repro.tpm.structures import SealedBlob
+
+
+def main() -> None:
+    platform = FlickerPlatform()
+    policy = SigningPolicy(
+        allowed_suffixes=(".corp.example",),
+        denied_subjects=("legacy.corp.example",),
+        max_certificates=100,
+    )
+    ca = CertificateAuthority(platform, policy=policy)
+
+    print("[1] initialize: keygen PAL generates and seals the signing key")
+    public_key = ca.initialize()
+    print(f"    CA public key fingerprint: {public_key.fingerprint().hex()[:24]}…")
+    print(f"    keygen session: {ca.last_session.total_ms:.1f} ms "
+          f"(paper Fig. 9(a) analogue: ~217 ms)")
+
+    print("\n[2] issue certificates through the signing PAL")
+    subject_keys = generate_rsa_keypair(512, DeterministicRNG(99))
+    for subject in ("www.corp.example", "mail.corp.example"):
+        clock_before = platform.machine.clock.now()
+        cert = ca.sign(CertificateSigningRequest(subject, subject_keys.public))
+        elapsed = platform.machine.clock.now() - clock_before
+        print(f"    issued serial {cert.serial} for {subject!r} "
+              f"in {elapsed:.1f} ms (paper: ~906 ms)")
+        assert cert.verify(public_key)
+
+    print("\n[3] the in-PAL policy refuses bad requests")
+    for subject in ("evil.attacker.net", "legacy.corp.example"):
+        cert = ca.sign(CertificateSigningRequest(subject, subject_keys.public))
+        print(f"    {subject!r}: {'ISSUED (!!)' if cert else 'DENIED'}")
+        assert cert is None
+
+    print("\n[4] the compromised OS tries to steal the sealed signing key")
+    try:
+        platform.tqd.driver.unseal(SealedBlob.decode(ca._sealed_state))
+        print("    unseal succeeded (!!)")
+    except TPMPolicyError as exc:
+        print(f"    TPM refused: {exc}")
+
+    print("\nConclusion: compromise costs certificate revocations, not a "
+          "CA key rollover — the key never leaves Flicker sessions.")
+
+
+if __name__ == "__main__":
+    main()

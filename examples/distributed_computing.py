@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Trustworthy distributed computing without replication (paper §6.2).
+
+A BOINC-style factoring project hands work units to an untrusted client.
+The client computes inside Flicker sessions whose inter-session state is
+HMAC-protected under a TPM-sealed key; the final result is extended into
+PCR 17 and attested, so the server accepts one attested execution instead
+of three redundant ones.
+
+Run:  python examples/distributed_computing.py
+"""
+
+from repro.apps.distributed import (
+    BOINCClient,
+    BOINCServer,
+    ClientProgress,
+    FactoringState,
+    ReplicationScheme,
+    flicker_efficiency,
+)
+from repro.core import FlickerPlatform
+from repro.errors import PALRuntimeError
+
+NONCE = b"\x11" * 20
+
+
+def main() -> None:
+    platform = FlickerPlatform()
+    server = BOINCServer(n=3 * 5 * 7 * 11 * 13 * 1_000_003, range_per_unit=500)
+    client = BOINCClient(platform)
+
+    print("[1] the client works a unit across multiple short sessions")
+    unit = server.issue_unit()
+    progress = client.start_unit(unit)
+    sessions = 1
+    result = None
+    while not progress.done:
+        progress, result = client.work_slice(progress, slice_ms=1.0, nonce=NONCE)
+        sessions += 1
+    print(f"    unit {unit.unit_id}: divisors {unit.start}..{unit.end} "
+          f"over {sessions} sessions")
+    print(f"    factors found: {progress.state.found}")
+
+    print("\n[2] the server verifies the attested result")
+    attestation = platform.attest(NONCE, result)
+    accepted = server.accept_result(platform, unit, progress, result, attestation, NONCE)
+    print(f"    accepted: {accepted}")
+    assert accepted
+
+    print("\n[3] a cheating client edits the state to skip the work")
+    doctored = FactoringState(
+        unit_id=unit.unit_id, n=server.n,
+        cursor=unit.end, end=unit.end, found=(),
+    )
+    forged = ClientProgress(
+        sealed_key=progress.sealed_key,
+        state_bytes=doctored.encode(),
+        mac=progress.mac,
+    )
+    try:
+        client.work_slice(forged, slice_ms=1.0)
+        print("    tampered state accepted (!!)")
+    except PALRuntimeError as exc:
+        print(f"    PAL refused: {exc}")
+
+    print("\n[4] why this beats replication (Figure 8)")
+    overhead_ms = 912.6  # SKINIT + Unseal per session (Table 4)
+    print(f"    per-session Flicker overhead: {overhead_ms:.1f} ms")
+    print("    latency   Flicker eff.   3-way   5-way   7-way")
+    for latency_s in (1, 2, 4, 8):
+        eff = flicker_efficiency(latency_s * 1000.0, overhead_ms)
+        print(f"      {latency_s} s      {eff:6.2f}       "
+              f"{ReplicationScheme(3).efficiency:.2f}    "
+              f"{ReplicationScheme(5).efficiency:.2f}    "
+              f"{ReplicationScheme(7).efficiency:.2f}")
+    print("    → beyond ~1.4 s sessions, one attested client out-produces "
+          "three replicas.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The PAL extraction tool (paper §5.2): slicing sensitive logic out of a
+larger application.
+
+The paper's tool uses CIL on C programs; the reproduction's equivalent
+works on Python source with the same workflow: point it at a target
+function, get back a standalone program containing the target's
+call-graph closure, plus a report of the calls that must be eliminated or
+replaced with Flicker modules before the code can become a PAL.
+
+Run:  python examples/pal_extraction.py
+"""
+
+import textwrap
+
+from repro.core.automation import extract_pal_source
+
+# A (condensed) web application with one security-sensitive corner.
+WEB_APP = textwrap.dedent(
+    '''
+    import socket
+
+    SALT_LENGTH = 8
+    ROUNDS = 1000
+
+    def parse_request(raw):
+        print("parsing", raw)
+        return raw.split(b" ")
+
+    def render_page(user):
+        return "<html>" + user + "</html>"
+
+    def strengthen(digest, password):
+        for _ in range(ROUNDS):
+            digest = hash_once(digest + password)
+        return digest
+
+    def hash_once(data):
+        return bytes(reversed(data))  # stand-in primitive
+
+    def check_password(stored, password, salt):
+        candidate = strengthen(hash_once(salt + password), password)
+        return candidate == stored
+
+    def handle_login(request):
+        print("login attempt")
+        user, password = parse_request(request)[:2]
+        return check_password(b"...", password, b"salt" * 2)
+    '''
+)
+
+
+def main() -> None:
+    print("[1] extract the password check (the security-sensitive core)")
+    result = extract_pal_source(WEB_APP, "check_password")
+    print(f"    target:    {result.target}")
+    print(f"    included:  {', '.join(result.included)}")
+    print(f"    constants: {', '.join(result.constants)}")
+    print(f"    clean:     {result.clean}")
+    assert result.clean
+    assert "parse_request" not in result.included  # untrusted plumbing stays out
+    assert "render_page" not in result.included
+
+    print("\n    standalone program:")
+    for line in result.standalone_source.splitlines():
+        print("      " + line)
+
+    print("\n[2] extracting a function with untrusted dependencies")
+    noisy = extract_pal_source(WEB_APP, "handle_login")
+    print(f"    included: {', '.join(noisy.included)}")
+    print("    disallowed dependencies the programmer must fix:")
+    for name, guidance in noisy.disallowed.items():
+        print(f"      {name}: {guidance}")
+    assert not noisy.clean
+
+    print("\nConclusion: the tool automates the §5.2 workflow — carve out "
+          "the sensitive closure, and be told exactly which library calls "
+          "to eliminate or replace with Flicker modules.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 5 "Hello, world" PAL, end to end.
+
+Builds a minimal PAL (no optional modules — the TCB is the <250-line SLB
+Core alone), runs it in a Flicker session on the simulated platform, then
+attests the session to a remote verifier and prints the Figure 2 timeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FlickerPlatform, PAL
+
+
+class HelloPAL(PAL):
+    """Figure 5: ignores its inputs and outputs 'Hello, world'."""
+
+    name = "hello-world"
+    modules = ()  # SLB Core only
+
+    def run(self, ctx):
+        ctx.write_output(b"Hello, world")
+
+
+def main() -> None:
+    platform = FlickerPlatform()
+
+    # --- run a session ----------------------------------------------------
+    nonce = b"\x42" * 20  # the verifier's challenge
+    result = platform.execute_pal(HelloPAL(), inputs=b"ignored", nonce=nonce)
+    print(f"PAL output: {result.outputs.decode()!r}")
+
+    print("\nFigure 2 timeline (virtual milliseconds):")
+    for phase in ("init-slb", "suspend-os", "skinit", "slb-init", "pal-exec",
+                  "cleanup", "extend-pcr", "resume-os", "restore-os"):
+        print(f"  {phase:<12} {result.phase_ms.get(phase, 0.0):8.3f} ms")
+    print(f"  {'TOTAL':<12} {result.total_ms:8.3f} ms")
+
+    print("\nPCR-17 event log:")
+    for label, measurement in result.event_log:
+        print(f"  {label:<12} {measurement.hex()}")
+
+    # --- attest it to a remote verifier ------------------------------------
+    attestation = platform.attest(nonce, result)
+    report = platform.verifier().verify(attestation, result.image, nonce)
+    print(f"\nremote verification: {'PASSED' if report.ok else 'FAILED'}")
+    assert report.ok, report.failures
+
+    # --- show that tampering is caught --------------------------------------
+    from dataclasses import replace
+
+    forged = replace(attestation, outputs=b"Hello, mallory")
+    bad = platform.verifier().verify(forged, result.image, nonce)
+    print(f"forged-output verification: {'PASSED' if bad.ok else 'REJECTED'}")
+    assert not bad.ok
+
+    print("\nSLB image stats:")
+    image = result.image
+    print(f"  linked modules:   {', '.join(image.linked_modules)}")
+    print(f"  measured length:  {image.measured_length} bytes "
+          f"({'optimized stub' if image.optimized else 'full code'})")
+    print(f"  PCR-17 at launch: {image.pcr17_launch_value.hex()}")
+
+
+if __name__ == "__main__":
+    main()

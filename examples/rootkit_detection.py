@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Remote rootkit detection (paper §6.1): a corporate administrator checks
+employee machines before admitting them to the VPN.
+
+The script runs three acts:
+  1. query a clean machine — the attested kernel hash matches known-good;
+  2. install a syscall-table rootkit and query again — detected;
+  3. have the *malicious OS* try to forge a clean answer — the attestation
+     fails, so the lie is caught too.
+
+Run:  python examples/rootkit_detection.py
+"""
+
+from dataclasses import replace
+
+from repro.apps.rootkit_detector import RemoteAdministrator, describe_kernel_regions
+from repro.core import FlickerPlatform
+from repro.osim import Attacker
+
+
+def main() -> None:
+    platform = FlickerPlatform()
+    admin = RemoteAdministrator(platform)
+
+    # --- Act 1: clean machine ---------------------------------------------
+    report = admin.run_detection_query()
+    print("[1] clean machine")
+    print(f"    attestation valid: {report.attestation_valid}")
+    print(f"    kernel hash:       {report.kernel_hash.hex()[:24]}…")
+    print(f"    matches known-good: {report.kernel_clean}")
+    print(f"    query latency:      {report.query_latency_ms:.1f} ms "
+          f"(paper: ~1022.7 ms)")
+    assert report.kernel_clean
+
+    # --- Act 2: rootkit installed -------------------------------------------
+    attacker = Attacker(platform.kernel)
+    hook_addr = attacker.hook_syscall(59)  # hook execve
+    print(f"\n[2] attacker hooks syscall 59 → {hook_addr:#x}")
+    report = admin.run_detection_query()
+    print(f"    attestation valid: {report.attestation_valid}")
+    print(f"    compromise detected: {report.compromised}")
+    assert report.compromised
+
+    # --- Act 3: the OS lies -------------------------------------------------
+    print("\n[3] malicious OS forges a 'clean' answer")
+    nonce = admin._fresh_nonce()
+    session = platform.execute_pal(
+        admin.pal,
+        inputs=describe_kernel_regions(platform.kernel),
+        nonce=nonce,
+        optimize=False,
+    )
+    honest = platform.attest(nonce, session)
+    forged = replace(honest, outputs=admin.known_good_hash())
+    verdict = platform.verifier().verify(
+        forged, session.image, nonce, pal_extends=[forged.outputs]
+    )
+    print(f"    forged attestation accepted: {verdict.ok}")
+    for failure in verdict.failures:
+        print(f"      - {failure}")
+    assert not verdict.ok
+
+    print("\nConclusion: the administrator trusts the detector PAL "
+          "(a few hundred lines), not the million-line OS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""SSH password authentication with a minimal-TCB password path (§6.3.1).
+
+Demonstrates the full Figure 7 protocol: the setup PAL generates a channel
+keypair under Flicker protection, the client verifies the attestation
+before encrypting the password, and the login PAL alone ever sees the
+cleartext — which this script proves by sweeping all of physical memory
+and the network log afterwards.
+
+Run:  python examples/ssh_password_auth.py
+"""
+
+from repro.apps.ssh_auth import PasswdEntry, SSHClient, SSHServer
+from repro.core import FlickerPlatform
+from repro.osim import Attacker
+
+PASSWORD = b"correct horse battery"
+
+
+def main() -> None:
+    platform = FlickerPlatform()
+    server = SSHServer(platform)
+    server.add_user(PasswdEntry.create("alice", PASSWORD, b"fLiCkEr1"))
+    client = SSHClient(platform)
+
+    print("[1] alice logs in with the correct password")
+    outcome = client.connect_and_login(server, "alice", PASSWORD)
+    print(f"    authenticated:           {outcome.authenticated}")
+    print(f"    time to password prompt: {outcome.time_to_prompt_ms:.0f} ms "
+          f"(paper: ~1221 ms; unmodified sshd: ~210 ms)")
+    print(f"    time after entry:        {outcome.time_after_entry_ms:.0f} ms "
+          f"(paper: ~940 ms; unmodified sshd: ~10 ms)")
+    assert outcome.authenticated
+
+    print("\n[2] a wrong password is rejected")
+    outcome = client.connect_and_login(server, "alice", b"wrong password!")
+    print(f"    authenticated: {outcome.authenticated}")
+    assert not outcome.authenticated
+
+    print("\n[3] forensic sweep by a ring-0 adversary after the fact")
+    attacker = Attacker(platform.kernel)
+    memory_hits = attacker.scan_memory_for(PASSWORD)
+    print(f"    cleartext password in RAM:      {len(memory_hits)} hits")
+    wire_hits = sum(
+        1 for _, _, payload in platform.network.message_log()
+        if isinstance(payload, bytes) and PASSWORD in payload
+    )
+    print(f"    cleartext password on the wire: {wire_hits} messages")
+    assert memory_hits == [] and wire_hits == 0
+
+    print("\n[4] what the server's password file actually stores")
+    entry = server.passwd["alice"]
+    print(f"    /etc/passwd: alice:{entry.hashed}")
+
+    print("\nConclusion: even a fully compromised server OS never sees "
+          "alice's password — it exists decrypted only inside the login "
+          "PAL, and the SLB Core erases it before the OS resumes.")
+
+
+if __name__ == "__main__":
+    main()

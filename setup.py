@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e .`` work in offline environments
+without the ``wheel`` package (pip falls back to ``setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

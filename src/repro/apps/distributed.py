@@ -1,0 +1,441 @@
+"""Distributed computing with integrity-protected state (paper §6.2).
+
+A BOINC-style project distributes work units to untrusted hosts.  The
+classic defence against cheating clients is k-way replication — wasteful
+and still probabilistic.  With Flicker, the client computes inside
+sessions whose multi-session state is integrity-protected: the first
+invocation generates a 160-bit HMAC key from TPM randomness and seals it
+to itself; every later invocation unseals the key, checks the MAC on the
+incoming state, works for a bounded slice (so the OS gets the machine
+back between slices), and MACs the outgoing state.  The final slice
+extends the result into PCR 17 so the server can verify an attestation
+instead of replicating.
+
+The demonstration workload is the paper's: naive trial-division factoring
+of a large number, split into divisor ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.attestation import Attestation
+from repro.core.pal import PAL, PALContext
+from repro.core.session import FlickerPlatform, SessionResult
+from repro.crypto.hmac import constant_time_equal, hmac_sha1
+from repro.errors import PALRuntimeError
+from repro.tpm.structures import SealedBlob
+
+#: Commands in the PAL input framing.
+_CMD_INIT = 0
+_CMD_WORK = 1
+
+#: The modelled per-divisor cost: §7.5's workload tests 1,500,000 divisors
+#: per multi-second session, so one divisor costs a fraction of a
+#: microsecond; we model 0.0005 ms per 1000 divisors at full rate and let
+#: callers specify the slice duration directly instead.
+DIVISORS_PER_MS = 1500.0 / 8.3  # ≈181 divisors per ms (from §7.5's figures)
+
+
+@dataclass
+class FactoringWorkUnit:
+    """One server-issued unit: test divisors of ``n`` in [start, end)."""
+
+    unit_id: int
+    n: int
+    start: int
+    end: int
+
+
+@dataclass
+class FactoringState:
+    """The PAL's inter-session state for one work unit."""
+
+    unit_id: int
+    n: int
+    cursor: int
+    end: int
+    found: Tuple[int, ...] = ()
+
+    def encode(self) -> bytes:
+        payload = (
+            self.unit_id.to_bytes(4, "big")
+            + self.n.to_bytes(32, "big")
+            + self.cursor.to_bytes(16, "big")
+            + self.end.to_bytes(16, "big")
+            + len(self.found).to_bytes(2, "big")
+        )
+        for divisor in self.found:
+            payload += divisor.to_bytes(16, "big")
+        return payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FactoringState":
+        unit_id = int.from_bytes(data[:4], "big")
+        n = int.from_bytes(data[4:36], "big")
+        cursor = int.from_bytes(data[36:52], "big")
+        end = int.from_bytes(data[52:68], "big")
+        count = int.from_bytes(data[68:70], "big")
+        found = []
+        off = 70
+        for _ in range(count):
+            found.append(int.from_bytes(data[off : off + 16], "big"))
+            off += 16
+        return cls(unit_id=unit_id, n=n, cursor=cursor, end=end, found=tuple(found))
+
+    @property
+    def done(self) -> bool:
+        """Whether the whole divisor range has been covered."""
+        return self.cursor >= self.end
+
+
+def _encode_init(state: FactoringState) -> bytes:
+    return bytes([_CMD_INIT]) + state.encode()
+
+
+def _encode_work(sealed_key: SealedBlob, state: bytes, mac: bytes, slice_ms: float) -> bytes:
+    key_blob = sealed_key.encode()
+    return (
+        bytes([_CMD_WORK])
+        + int(slice_ms * 1000).to_bytes(8, "big")
+        + len(key_blob).to_bytes(4, "big") + key_blob
+        + len(state).to_bytes(4, "big") + state
+        + mac
+    )
+
+
+class DistributedPAL(PAL):
+    """The Flicker-protected BOINC computation core."""
+
+    name = "boinc-factoring"
+    modules = ("tpm_utils", "crypto")
+
+    def run(self, ctx: PALContext) -> None:
+        if not ctx.inputs:
+            raise PALRuntimeError("distributed PAL requires a command input")
+        command = ctx.inputs[0]
+        if command == _CMD_INIT:
+            self._run_init(ctx)
+        elif command == _CMD_WORK:
+            self._run_work(ctx)
+        else:
+            raise PALRuntimeError(f"unknown distributed-PAL command {command}")
+
+    # -- first invocation: key generation (§6.2) --------------------------------
+
+    def _run_init(self, ctx: PALContext) -> None:
+        state = FactoringState.decode(ctx.inputs[1:])
+        hmac_key = ctx.tpm.get_random(20)  # the 160-bit symmetric key
+        sealed = ctx.tpm.seal_to_pal(hmac_key, ctx.self_pcr17)
+        state_bytes = state.encode()
+        mac = ctx.crypto.hmac_sha1(hmac_key, state_bytes)
+        sealed_blob = sealed.encode()
+        ctx.write_output(
+            len(sealed_blob).to_bytes(4, "big") + sealed_blob
+            + len(state_bytes).to_bytes(4, "big") + state_bytes
+            + mac
+        )
+
+    # -- subsequent invocations: verified work slices --------------------------------
+
+    def _run_work(self, ctx: PALContext) -> None:
+        payload = ctx.inputs[1:]
+        slice_ms = int.from_bytes(payload[:8], "big") / 1000.0
+        off = 8
+        key_len = int.from_bytes(payload[off : off + 4], "big")
+        sealed = SealedBlob.decode(payload[off + 4 : off + 4 + key_len])
+        off += 4 + key_len
+        state_len = int.from_bytes(payload[off : off + 4], "big")
+        state_bytes = payload[off + 4 : off + 4 + state_len]
+        off += 4 + state_len
+        mac = payload[off : off + 20]
+
+        hmac_key = ctx.tpm.unseal(sealed)
+        if not constant_time_equal(ctx.crypto.hmac_sha1(hmac_key, state_bytes), mac):
+            raise PALRuntimeError("state MAC verification failed (tampered state)")
+
+        state = FactoringState.decode(state_bytes)
+        divisor_budget = max(1, int(slice_ms * DIVISORS_PER_MS))
+        state = self._factor_slice(state, divisor_budget)
+        ctx.charge(slice_ms, "factoring-work")
+
+        new_state = state.encode()
+        new_mac = ctx.crypto.hmac_sha1(hmac_key, new_state)
+        if state.done:
+            # Final slice: bind the result into PCR 17 for attestation.
+            result_digest = ctx.crypto.sha1(new_state)
+            ctx.tpm.pcr_extend(result_digest)
+        ctx.write_output(
+            len(new_state).to_bytes(4, "big") + new_state + new_mac
+            + (b"\x01" if state.done else b"\x00")
+        )
+
+    @staticmethod
+    def _factor_slice(state: FactoringState, divisor_budget: int) -> FactoringState:
+        """Test up to ``divisor_budget`` candidate divisors (functionally
+        exact; the *time* is charged by the caller from the slice length)."""
+        cursor = max(state.cursor, 2)
+        end = min(state.end, cursor + divisor_budget)
+        found = list(state.found)
+        # No divisor larger than n can divide n, so that region of the
+        # range is covered without per-candidate work.
+        trial_end = min(end, state.n + 1)
+        while cursor < trial_end:
+            if state.n % cursor == 0 and cursor not in found:
+                found.append(cursor)
+            cursor += 1
+        cursor = max(cursor, end) if end > state.n else cursor
+        return FactoringState(
+            unit_id=state.unit_id,
+            n=state.n,
+            cursor=cursor,
+            end=state.end,
+            found=tuple(found),
+        )
+
+
+@dataclass
+class ClientProgress:
+    """A client's bookkeeping between sessions (held by untrusted code)."""
+
+    sealed_key: SealedBlob
+    state_bytes: bytes
+    mac: bytes
+    done: bool = False
+
+    @property
+    def state(self) -> FactoringState:
+        """Decoded view of the (MAC-protected) state."""
+        return FactoringState.decode(self.state_bytes)
+
+
+class BOINCClient:
+    """The modified BOINC client: runs work units inside Flicker sessions."""
+
+    def __init__(self, platform: FlickerPlatform, pal: Optional[DistributedPAL] = None) -> None:
+        self.platform = platform
+        self.pal = pal or DistributedPAL()
+
+    def start_unit(self, unit: FactoringWorkUnit) -> ClientProgress:
+        """First invocation: key generation + sealed state bootstrap."""
+        state = FactoringState(
+            unit_id=unit.unit_id, n=unit.n, cursor=unit.start, end=unit.end
+        )
+        result = self.platform.execute_pal(self.pal, inputs=_encode_init(state))
+        return self._parse_init_output(result)
+
+    @staticmethod
+    def _parse_init_output(result: SessionResult) -> ClientProgress:
+        data = result.outputs
+        key_len = int.from_bytes(data[:4], "big")
+        sealed = SealedBlob.decode(data[4 : 4 + key_len])
+        off = 4 + key_len
+        state_len = int.from_bytes(data[off : off + 4], "big")
+        state_bytes = data[off + 4 : off + 4 + state_len]
+        mac = data[off + 4 + state_len : off + 4 + state_len + 20]
+        return ClientProgress(sealed_key=sealed, state_bytes=state_bytes, mac=mac)
+
+    def work_slice(
+        self,
+        progress: ClientProgress,
+        slice_ms: float,
+        nonce: bytes = b"\x00" * 20,
+    ) -> Tuple[ClientProgress, SessionResult]:
+        """One bounded Flicker session of application work."""
+        inputs = _encode_work(progress.sealed_key, progress.state_bytes, progress.mac, slice_ms)
+        result = self.platform.execute_pal(self.pal, inputs=inputs, nonce=nonce)
+        data = result.outputs
+        state_len = int.from_bytes(data[:4], "big")
+        state_bytes = data[4 : 4 + state_len]
+        mac = data[4 + state_len : 24 + state_len]
+        done = data[24 + state_len : 25 + state_len] == b"\x01"
+        return (
+            ClientProgress(
+                sealed_key=progress.sealed_key,
+                state_bytes=state_bytes,
+                mac=mac,
+                done=done,
+            ),
+            result,
+        )
+
+    def run_unit(
+        self,
+        unit: FactoringWorkUnit,
+        slice_ms: float,
+    ) -> Tuple[ClientProgress, SessionResult]:
+        """Run a unit to completion in ``slice_ms`` chunks; returns the
+        final progress and the *last* session result (whose PCR-17 chain
+        contains the result extend)."""
+        progress = self.start_unit(unit)
+        last_result: Optional[SessionResult] = None
+        while not progress.done:
+            progress, last_result = self.work_slice(progress, slice_ms)
+        assert last_result is not None
+        return progress, last_result
+
+
+class BOINCServer:
+    """The project server: issues units, verifies attested results."""
+
+    def __init__(self, n: int, range_per_unit: int = 2000) -> None:
+        self.n = n
+        self.range_per_unit = range_per_unit
+        self._next_unit = 0
+        self.verified_results: Dict[int, Tuple[int, ...]] = {}
+
+    def issue_unit(self) -> FactoringWorkUnit:
+        """Hand out the next divisor range."""
+        start = 2 + self._next_unit * self.range_per_unit
+        unit = FactoringWorkUnit(
+            unit_id=self._next_unit,
+            n=self.n,
+            start=start,
+            end=start + self.range_per_unit,
+        )
+        self._next_unit += 1
+        return unit
+
+    def accept_result(
+        self,
+        platform: FlickerPlatform,
+        unit: FactoringWorkUnit,
+        progress: ClientProgress,
+        final_session: SessionResult,
+        attestation: Attestation,
+        nonce: bytes,
+    ) -> bool:
+        """Verify an attested result; store it if sound.
+
+        The expected PCR-17 chain includes the PAL's final result extend
+        (H(final state)), so a forged state cannot verify.
+        """
+        from repro.crypto.sha1 import sha1
+
+        verifier = platform.verifier()
+        report = verifier.verify(
+            attestation,
+            final_session.image,
+            nonce,
+            pal_extends=[sha1(progress.state_bytes)],
+        )
+        if not report.ok:
+            return False
+        state = progress.state
+        if state.unit_id != unit.unit_id or not state.done:
+            return False
+        self.verified_results[unit.unit_id] = state.found
+        return True
+
+
+# ---------------------------------------------------------------------------
+# The replication baseline (Figure 8)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplicationScheme:
+    """k-way redundant execution on untrusted clients."""
+
+    replicas: int
+
+    @property
+    def efficiency(self) -> float:
+        """Useful work fraction: one unit of progress per ``k`` executions."""
+        return 1.0 / self.replicas
+
+    def majority_result(self, results: List[Tuple[int, ...]]) -> Optional[Tuple[int, ...]]:
+        """The result reported by a strict majority, or ``None``."""
+        tally: Dict[Tuple[int, ...], int] = {}
+        for result in results:
+            tally[result] = tally.get(result, 0) + 1
+        best, votes = max(tally.items(), key=lambda item: item[1])
+        return best if votes * 2 > len(results) else None
+
+
+@dataclass
+class ProjectReport:
+    """Outcome of running a whole project across a client fleet."""
+
+    units_issued: int
+    units_accepted: int
+    units_rejected: int
+    #: Total virtual compute time spent across all clients (ms).
+    total_compute_ms: float
+    #: Useful (application-work) share of that time.
+    useful_ms: float
+
+    @property
+    def efficiency(self) -> float:
+        """Useful-work fraction across the fleet."""
+        return self.useful_ms / self.total_compute_ms if self.total_compute_ms else 0.0
+
+
+class BOINCProject:
+    """Orchestrates a whole distributed project over a fleet of
+    Flicker-capable clients — the deployment the paper's §6.2 envisions.
+
+    Each client runs on its own simulated machine (its own TPM and AIK);
+    the server verifies every returned result against that client's
+    attestation before accepting it.
+    """
+
+    def __init__(self, n: int, range_per_unit: int = 400) -> None:
+        self.server = BOINCServer(n=n, range_per_unit=range_per_unit)
+        self._nonce_counter = 0
+
+    def _fresh_nonce(self) -> bytes:
+        from repro.crypto.sha1 import sha1
+
+        self._nonce_counter += 1
+        return sha1(b"boinc-server" + self._nonce_counter.to_bytes(8, "big"))
+
+    def run(self, platforms: List["FlickerPlatform"], units_per_client: int,
+            slice_ms: float) -> ProjectReport:
+        """Issue units round-robin, run them, verify every attestation."""
+        accepted = rejected = issued = 0
+        total_compute = useful = 0.0
+        for platform in platforms:
+            client = BOINCClient(platform)
+            for _ in range(units_per_client):
+                unit = self.server.issue_unit()
+                issued += 1
+                nonce = self._fresh_nonce()
+                clock = platform.machine.clock
+                before = clock.now()
+                progress = client.start_unit(unit)
+                result = None
+                while not progress.done:
+                    progress, result = client.work_slice(progress, slice_ms, nonce=nonce)
+                elapsed = clock.now() - before
+                total_compute += elapsed
+                attestation = platform.attest(nonce, result)
+                if self.server.accept_result(
+                    platform, unit, progress, result, attestation, nonce
+                ):
+                    accepted += 1
+                    # Useful time: the work slices themselves.
+                    useful += sum(
+                        e.detail["ms"]
+                        for e in platform.machine.trace.events(kind="work")
+                        if e.detail["label"] == "factoring-work"
+                        and e.time_ms > before
+                    )
+                else:
+                    rejected += 1
+        return ProjectReport(
+            units_issued=issued,
+            units_accepted=accepted,
+            units_rejected=rejected,
+            total_compute_ms=total_compute,
+            useful_ms=useful,
+        )
+
+
+def flicker_efficiency(user_latency_ms: float, overhead_ms: float) -> float:
+    """Figure 8's Flicker curve: with a per-session overhead of
+    ``overhead_ms`` (SKINIT + Unseal + …), a session the user perceives as
+    ``user_latency_ms`` long spends the remainder on useful work."""
+    if user_latency_ms <= 0:
+        return 0.0
+    return max(0.0, (user_latency_ms - overhead_ms) / user_latency_ms)

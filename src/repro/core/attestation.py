@@ -1,0 +1,243 @@
+"""Attestation: convincing a remote party a PAL ran under Flicker.
+
+Implements §4.4.1.  The chain of PCR-17 extends over one session is:
+
+1. hardware reset to 0 (SKINIT), then extend with H(measured SLB prefix);
+2. if the image uses the §7.2 optimization: extend with H(full 64-KB
+   region), performed by the bootstrap stub;
+3. any extends the PAL itself performs (e.g. the rootkit detector extends
+   the kernel hash; the SSH login PAL extends ⊥ to revoke key access);
+4. the SLB Core's result-integrity extend over the session's inputs,
+   outputs, and the verifier's nonce;
+5. the SLB Core's closing extend of a fixed public constant (the
+   *sentinel*), which both prevents later software from impersonating the
+   PAL and revokes access to PAL-only sealed secrets.
+
+A verifier that knows the PAL (and hence steps 1–3), the claimed inputs
+and outputs, and its own nonce recomputes the chain and compares it with
+the AIK-signed quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.slb import SLBImage
+from repro.crypto.rsa import RSAPublicKey
+from repro.crypto.sha1 import sha1
+from repro.errors import AttestationError
+from repro.tpm.pcr import PCR_DYNAMIC_RESET_VALUE, simulate_extend_chain
+from repro.tpm.privacy_ca import AIKCertificate
+from repro.tpm.structures import Quote
+
+#: The "fixed public constant" the SLB Core extends last (§4.4.1).
+SENTINEL_MEASUREMENT = sha1(b"flicker: end of session")
+
+#: The ⊥ value PALs extend to revoke sealed-secret access mid-session
+#: (Figure 7's ``extend(PCR17, ⊥)``).
+BOTTOM_MEASUREMENT = sha1(b"flicker: bottom")
+
+#: PCR that records Flicker sessions.
+FLICKER_PCR = 17
+
+
+def io_measurement(inputs: bytes, outputs: bytes, nonce: bytes) -> bytes:
+    """The result-integrity measurement over a session's parameters.
+
+    Length-prefixed so no (inputs, outputs) pair can alias another.
+    """
+    return sha1(
+        len(inputs).to_bytes(4, "big") + inputs
+        + len(outputs).to_bytes(4, "big") + outputs
+        + len(nonce).to_bytes(4, "big") + nonce
+    )
+
+
+def expected_pcr17(
+    image: SLBImage,
+    inputs: bytes,
+    outputs: bytes,
+    nonce: bytes,
+    pal_extends: Sequence[bytes] = (),
+) -> bytes:
+    """Recompute the final PCR-17 value for a completed session.
+
+    ``pal_extends`` are the measurements the PAL itself extended, in
+    order, which the verifier knows from the PAL's published behaviour
+    (e.g. the rootkit detector extends the kernel hash it outputs).
+    """
+    measurements = [digest for _, digest in image.launch_measurements()]
+    measurements.extend(pal_extends)
+    measurements.append(io_measurement(inputs, outputs, nonce))
+    measurements.append(SENTINEL_MEASUREMENT)
+    return simulate_extend_chain(PCR_DYNAMIC_RESET_VALUE, measurements)
+
+
+def expected_txt_pcrs(
+    image: SLBImage,
+    acm_measurement: bytes,
+    inputs: bytes,
+    outputs: bytes,
+    nonce: bytes,
+    pal_extends: Sequence[bytes] = (),
+) -> dict:
+    """Expected PCR 17 and 18 values for a TXT-launched session.
+
+    On Intel hardware the launch identity spans two registers: SENTER
+    extends the SINIT ACM into PCR 17 and the MLE (the SLB) into PCR 18;
+    the SLB Core's session record then accumulates in PCR 17 on top of the
+    ACM measurement.
+    """
+    pcr17_chain = [acm_measurement]
+    pcr17_chain.extend(pal_extends)
+    pcr17_chain.append(io_measurement(inputs, outputs, nonce))
+    pcr17_chain.append(SENTINEL_MEASUREMENT)
+    return {
+        17: simulate_extend_chain(PCR_DYNAMIC_RESET_VALUE, pcr17_chain),
+        18: simulate_extend_chain(PCR_DYNAMIC_RESET_VALUE, [image.skinit_measurement]),
+    }
+
+
+@dataclass(frozen=True)
+class Attestation:
+    """Everything the challenged platform returns to a verifier."""
+
+    quote: Quote
+    aik_certificate: AIKCertificate
+    #: Untrusted event log: (label, measurement) pairs claimed for PCR 17.
+    event_log: Tuple[Tuple[str, bytes], ...]
+    inputs: bytes
+    outputs: bytes
+    nonce: bytes
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying an attestation."""
+
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+
+    def require(self) -> None:
+        """Raise :class:`AttestationError` unless verification passed."""
+        if not self.ok:
+            raise AttestationError("; ".join(self.failures) or "attestation invalid")
+
+
+class FlickerVerifier:
+    """A remote party verifying Flicker attestations (§4.4.1).
+
+    Trusts exactly two things: the Privacy CA's public key, and the
+    measurement of the PAL it expects — *not* the platform's OS.
+    """
+
+    def __init__(self, privacy_ca_public: RSAPublicKey) -> None:
+        self._ca_public = privacy_ca_public
+
+    def verify(
+        self,
+        attestation: Attestation,
+        expected_image: SLBImage,
+        expected_nonce: bytes,
+        pal_extends: Sequence[bytes] = (),
+        expected_inputs: Optional[bytes] = None,
+    ) -> VerificationReport:
+        """Full §4.4.1 check: AIK certificate chain, quote signature, nonce
+        freshness, and the recomputed PCR-17 chain (which covers the PAL
+        identity, the inputs/outputs, and the sentinel)."""
+        report = VerificationReport(ok=True)
+
+        cert = attestation.aik_certificate
+        if not cert.verify(self._ca_public):
+            report.ok = False
+            report.failures.append("AIK certificate does not verify against the Privacy CA")
+        if cert.aik_public != attestation.quote.aik_public:
+            report.ok = False
+            report.failures.append("quote was signed by a key other than the certified AIK")
+
+        if not attestation.quote.verify(cert.aik_public):
+            report.ok = False
+            report.failures.append("TPM quote signature invalid")
+
+        if attestation.quote.nonce != expected_nonce:
+            report.ok = False
+            report.failures.append("quote nonce mismatch (replayed attestation?)")
+
+        if expected_inputs is not None and attestation.inputs != expected_inputs:
+            report.ok = False
+            report.failures.append("attested inputs differ from the inputs sent")
+
+        composite = attestation.quote.composite.as_dict()
+        quoted_pcr17 = composite.get(FLICKER_PCR)
+        if quoted_pcr17 is None:
+            report.ok = False
+            report.failures.append("quote does not cover PCR 17")
+        else:
+            expected = expected_pcr17(
+                expected_image,
+                attestation.inputs,
+                attestation.outputs,
+                attestation.nonce,
+                pal_extends=pal_extends,
+            )
+            if quoted_pcr17 != expected:
+                report.ok = False
+                report.failures.append(
+                    "PCR 17 does not match the expected PAL/input/output chain"
+                )
+
+        self._check_event_log(attestation, quoted_pcr17, report)
+        return report
+
+    def verify_txt(
+        self,
+        attestation: Attestation,
+        expected_image: SLBImage,
+        acm_measurement: bytes,
+        expected_nonce: bytes,
+        pal_extends: Sequence[bytes] = (),
+    ) -> VerificationReport:
+        """Verify an attestation from a TXT-launched session: the quote
+        must cover PCRs 17 *and* 18, and both must match the two-register
+        identity chain."""
+        report = VerificationReport(ok=True)
+        cert = attestation.aik_certificate
+        if not cert.verify(self._ca_public):
+            report.ok = False
+            report.failures.append("AIK certificate does not verify against the Privacy CA")
+        if not attestation.quote.verify(cert.aik_public):
+            report.ok = False
+            report.failures.append("TPM quote signature invalid")
+        if attestation.quote.nonce != expected_nonce:
+            report.ok = False
+            report.failures.append("quote nonce mismatch (replayed attestation?)")
+
+        composite = attestation.quote.composite.as_dict()
+        expected = expected_txt_pcrs(
+            expected_image, acm_measurement,
+            attestation.inputs, attestation.outputs, attestation.nonce,
+            pal_extends=pal_extends,
+        )
+        for pcr, value in expected.items():
+            if composite.get(pcr) != value:
+                report.ok = False
+                report.failures.append(
+                    f"PCR {pcr} does not match the expected TXT launch chain"
+                )
+        self._check_event_log(attestation, composite.get(17), report)
+        return report
+
+    @staticmethod
+    def _check_event_log(attestation: Attestation, quoted_pcr17, report) -> None:
+        """Cross-check the (untrusted) event log against the quoted PCR 17:
+        a log that does not reproduce the register is evidence of
+        tampering, though the quote alone carries the security argument."""
+        if quoted_pcr17 is not None and attestation.event_log:
+            replayed = simulate_extend_chain(
+                PCR_DYNAMIC_RESET_VALUE,
+                [digest for _, digest in attestation.event_log],
+            )
+            if replayed != quoted_pcr17:
+                report.ok = False
+                report.failures.append("event log does not reproduce the quoted PCR 17")

@@ -1,0 +1,239 @@
+"""PAL extraction tool (paper §5.2), reimplemented over Python ``ast``.
+
+The paper's tool uses CIL to slice a target function — say
+``rsa_keygen()`` — out of a large C program: it "parses the program's call
+graph and extracts any functions that the target depends on, along with
+relevant type definitions, etc., to create a standalone C program", and
+"indicates which additional functions from standard libraries must be
+eliminated or replaced" (``printf``, ``malloc``...).
+
+This module does the same for Python source: given a program's source text
+and a target function name, it computes the call-graph closure of the
+target over the program's top-level functions and classes, collects the
+module-level constants they reference, and emits a standalone program.
+Calls to names that are neither in the closure nor in the PAL-safe builtin
+whitelist are reported as *disallowed dependencies* the programmer must
+eliminate or replace with a Flicker module (``print`` → eliminate,
+``malloc``-ish allocation → link ``memory_mgmt``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import ExtractionError
+
+#: Builtins considered safe inside a PAL (pure computation).
+PAL_SAFE_BUILTINS = frozenset({
+    "abs", "all", "any", "bool", "bytes", "bytearray", "chr", "dict",
+    "divmod", "enumerate", "filter", "float", "frozenset", "hex", "int",
+    "isinstance", "issubclass", "iter", "len", "list", "map", "max", "min",
+    "next", "ord", "pow", "range", "repr", "reversed", "round", "set",
+    "slice", "sorted", "str", "sum", "tuple", "zip", "ValueError",
+    "TypeError", "KeyError", "IndexError", "RuntimeError", "StopIteration",
+    "Exception", "NotImplementedError",
+})
+
+#: Builtins that exist but must be *replaced* before PAL inclusion, with
+#: the suggested replacement (mirrors the paper's printf/malloc guidance).
+PAL_REPLACEMENTS = {
+    "print": "eliminate (no console inside a Flicker session)",
+    "open": "eliminate (no filesystem inside a Flicker session)",
+    "input": "eliminate (no console inside a Flicker session)",
+    "malloc": "link the memory_mgmt module",
+    "free": "link the memory_mgmt module",
+    "realloc": "link the memory_mgmt module",
+}
+
+
+@dataclass
+class ExtractionResult:
+    """Outcome of extracting a target function into a standalone PAL."""
+
+    target: str
+    #: Names of functions/classes pulled into the standalone program.
+    included: Tuple[str, ...]
+    #: Module-level constant names carried along.
+    constants: Tuple[str, ...]
+    #: name → guidance for calls that must be eliminated or replaced.
+    disallowed: Dict[str, str] = field(default_factory=dict)
+    #: The standalone program's source text.
+    standalone_source: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """True when no disallowed dependencies remain."""
+        return not self.disallowed
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Collects the names referenced in Call/Name positions, including
+    attribute calls rooted at a simple name (``socket.create_connection``
+    records root ``socket`` as an attribute call)."""
+
+    def __init__(self) -> None:
+        self.called: Set[str] = set()
+        self.loaded: Set[str] = set()
+        #: root name → dotted call path, for calls through attributes.
+        self.attribute_calls: Dict[str, Set[str]] = {}
+
+    @staticmethod
+    def _dotted(node: ast.Attribute):
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return node.id, ".".join(reversed(parts))
+        return None, None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name):
+            self.called.add(node.func.id)
+        elif isinstance(node.func, ast.Attribute):
+            root, dotted = self._dotted(node.func)
+            if root is not None:
+                self.attribute_calls.setdefault(root, set()).add(dotted)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.loaded.add(node.id)
+        self.generic_visit(node)
+
+
+def _top_level_definitions(tree: ast.Module):
+    """Maps of name → AST node for top-level defs/classes, constants, and
+    the set of imported module names."""
+    functions: Dict[str, ast.AST] = {}
+    constants: Dict[str, ast.AST] = {}
+    imported: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            functions[node.name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = node
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            constants[node.target.id] = node
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                imported.add(alias.asname or alias.name)
+    return functions, constants, imported
+
+
+def extract_pal_source(program_source: str, target: str) -> ExtractionResult:
+    """Slice ``target`` (and its dependency closure) out of a program.
+
+    Raises :class:`ExtractionError` if the target is not a top-level
+    function of the program.  The result's ``disallowed`` mapping lists
+    every referenced name the standalone PAL cannot satisfy, with
+    replacement guidance — extraction still succeeds so the programmer can
+    iterate, exactly like the paper's workflow ("the programmer can simply
+    eliminate the call").
+    """
+    try:
+        tree = ast.parse(program_source)
+    except SyntaxError as exc:
+        raise ExtractionError(f"cannot parse program: {exc}") from exc
+
+    functions, constants, imported_modules = _top_level_definitions(tree)
+    if target not in functions:
+        raise ExtractionError(
+            f"target {target!r} is not a top-level function of the program"
+        )
+
+    # Breadth-first closure over the call graph.
+    included: List[str] = []
+    pending = [target]
+    needed_constants: Set[str] = set()
+    disallowed: Dict[str, str] = {}
+    seen: Set[str] = set()
+
+    while pending:
+        name = pending.pop(0)
+        if name in seen:
+            continue
+        seen.add(name)
+        node = functions[name]
+        included.append(name)
+
+        collector = _CallCollector()
+        collector.visit(node)
+        local_names = {
+            n.id
+            for n in ast.walk(node)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+        }
+        local_names.update(a.arg for a in _all_args(node))
+
+        for ref in sorted(collector.called | collector.loaded):
+            if ref in functions:
+                if ref not in seen:
+                    pending.append(ref)
+            elif ref in constants:
+                needed_constants.add(ref)
+            elif ref in local_names or ref == name:
+                continue
+            elif ref in PAL_SAFE_BUILTINS:
+                continue
+            elif ref in PAL_REPLACEMENTS:
+                disallowed[ref] = PAL_REPLACEMENTS[ref]
+            elif ref in collector.called:
+                disallowed[ref] = "unresolved call: define it or link a module providing it"
+            # bare Name loads of unknown origin (e.g. module attributes)
+            # are tolerated; only *calls* must resolve.
+
+        # Calls through imported modules (socket.connect, os.getpid, ...)
+        # cannot be satisfied inside a Flicker session either — the PAL
+        # has no OS to call into.
+        for root, dotted_calls in sorted(collector.attribute_calls.items()):
+            if root in local_names or root in functions or root in constants:
+                continue
+            if root in imported_modules:
+                calls = ", ".join(sorted(dotted_calls))
+                disallowed[root] = (
+                    f"module dependency ({calls}): no OS services inside a "
+                    "Flicker session — eliminate or move outside the PAL"
+                )
+
+    # Emit the standalone program: constants first, then definitions in
+    # dependency-friendly order (dependencies before dependents).
+    ordered = list(reversed(included))
+    pieces: List[str] = ['"""Standalone PAL extracted by repro.core.automation."""', ""]
+    for const in sorted(needed_constants):
+        pieces.append(ast.unparse(constants[const]))
+    if needed_constants:
+        pieces.append("")
+    for name in ordered:
+        pieces.append(ast.unparse(functions[name]))
+        pieces.append("")
+    pieces.append(f"PAL_ENTRY = {target}")
+
+    return ExtractionResult(
+        target=target,
+        included=tuple(included),
+        constants=tuple(sorted(needed_constants)),
+        disallowed=disallowed,
+        standalone_source="\n".join(pieces),
+    )
+
+
+def _all_args(node: ast.AST):
+    """All argument nodes of a function definition (incl. kw-only etc.)."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    args = node.args
+    out = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg:
+        out.append(args.vararg)
+    if args.kwarg:
+        out.append(args.kwarg)
+    return out

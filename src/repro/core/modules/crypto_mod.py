@@ -1,0 +1,157 @@
+"""Crypto module capability (``ctx.crypto``).
+
+Bridges the from-scratch algorithms in :mod:`repro.crypto` into the PAL
+execution environment, charging each operation's *modelled* host-CPU cost
+to the virtual clock (calibrated from §7.4.1: RSA-1024 key generation
+185.7 ms, private-key ops ≈ 4.6 ms, etc.).
+
+Functional key sizes are decoupled from modelled ones: the simulation can
+generate a small RSA key (fast in pure Python) while charging the paper's
+1024-bit costs, because all reported latencies come from the virtual
+clock.  The default functional size is set by the platform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.crypto.aes import AES128
+from repro.crypto.drbg import HashDRBG
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.md5 import md5
+from repro.crypto.md5crypt import md5crypt
+from repro.crypto.pkcs1 import (
+    pkcs1_decrypt,
+    pkcs1_encrypt,
+    pkcs1_sign_sha1,
+    pkcs1_verify_sha1,
+)
+from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_rsa_keypair
+from repro.crypto.sha1 import sha1
+from repro.crypto.sha512 import sha512
+from repro.sim.rng import DeterministicRNG
+from repro.sim.timing import HostTimings
+
+
+class PALCrypto:
+    """Crypto operations with modelled latencies, for use inside a PAL.
+
+    ``charge`` is a callback ``(ms, label) -> None`` provided by the PAL
+    context; ``entropy`` supplies seed material (PALs draw it from
+    TPM_GetRandom, per §7.4.1).
+    """
+
+    def __init__(
+        self,
+        host: HostTimings,
+        charge: Callable[[float, str], None],
+        entropy: bytes,
+        functional_rsa_bits: int = 512,
+        hash_only: bool = False,
+    ) -> None:
+        self._host = host
+        self._charge = charge
+        self._drbg = HashDRBG(entropy)
+        self._rng = DeterministicRNG(int.from_bytes(self._drbg.generate(8), "big"))
+        self.functional_rsa_bits = functional_rsa_bits
+        self.hash_only = hash_only
+
+    def _full(self, operation: str) -> None:
+        if self.hash_only:
+            from repro.errors import PALRuntimeError
+
+            raise PALRuntimeError(
+                f"{operation} requires the full 'crypto' module; this PAL "
+                "linked only 'crypto_sha1'"
+            )
+
+    # -- hashing (available in both variants) -------------------------------------
+
+    def sha1(self, data: bytes) -> bytes:
+        """SHA-1 with modelled host throughput."""
+        self._charge(self._host.sha1_ms_per_kb * len(data) / 1024.0, "sha1")
+        return sha1(data)
+
+    def sha512(self, data: bytes) -> bytes:
+        """SHA-512 (charged at twice the SHA-1 rate, as on real hardware of
+        the era)."""
+        self._full("SHA-512")
+        self._charge(2.0 * self._host.sha1_ms_per_kb * len(data) / 1024.0, "sha512")
+        return sha512(data)
+
+    def md5(self, data: bytes) -> bytes:
+        """MD5 (slightly cheaper than SHA-1)."""
+        self._full("MD5")
+        self._charge(0.7 * self._host.sha1_ms_per_kb * len(data) / 1024.0, "md5")
+        return md5(data)
+
+    def hmac_sha1(self, key: bytes, message: bytes) -> bytes:
+        """HMAC-SHA1 (two hash passes plus fixed overhead)."""
+        self._charge(
+            2.0 * self._host.sha1_ms_per_kb * len(message) / 1024.0
+            + self._host.hmac_overhead_ms,
+            "hmac-sha1",
+        )
+        return hmac_sha1(key, message)
+
+    # -- randomness ---------------------------------------------------------------
+
+    def random_bytes(self, n: int) -> bytes:
+        """DRBG output seeded from the PAL's TPM entropy."""
+        self._full("DRBG")
+        return self._drbg.generate(n)
+
+    # -- RSA ------------------------------------------------------------------------
+
+    def rsa_keygen_1024(self) -> RSAKeyPair:
+        """Generate an RSA keypair, charging the paper's 1024-bit cost."""
+        self._full("RSA keygen")
+        self._charge(self._host.rsa1024_keygen_ms, "rsa-keygen")
+        return generate_rsa_keypair(self.functional_rsa_bits, self._rng)
+
+    def rsa_decrypt(self, private: RSAPrivateKey, ciphertext: bytes) -> bytes:
+        """PKCS#1 v1.5 decryption (private-key op, ≈4.6 ms modelled)."""
+        self._full("RSA decrypt")
+        self._charge(self._host.rsa1024_private_op_ms, "rsa-decrypt")
+        return pkcs1_decrypt(private, ciphertext)
+
+    def rsa_encrypt(self, public: RSAPublicKey, message: bytes) -> bytes:
+        """PKCS#1 v1.5 encryption (public-key op)."""
+        self._full("RSA encrypt")
+        self._charge(self._host.rsa1024_public_op_ms, "rsa-encrypt")
+        return pkcs1_encrypt(public, message, self._rng)
+
+    def rsa_sign(self, private: RSAPrivateKey, message: bytes) -> bytes:
+        """PKCS#1 v1.5 / SHA-1 signature (private-key op, ≈4.7 ms)."""
+        self._full("RSA sign")
+        self._charge(self._host.rsa1024_private_op_ms + 0.1, "rsa-sign")
+        return pkcs1_sign_sha1(private, message)
+
+    def rsa_verify(self, public: RSAPublicKey, message: bytes, signature: bytes) -> bool:
+        """PKCS#1 v1.5 / SHA-1 verification (public-key op)."""
+        self._full("RSA verify")
+        self._charge(self._host.rsa1024_public_op_ms, "rsa-verify")
+        return pkcs1_verify_sha1(public, message, signature)
+
+    # -- symmetric ------------------------------------------------------------------
+
+    def aes_encrypt_cbc(self, key: bytes, plaintext: bytes, iv: bytes) -> bytes:
+        """AES-128-CBC encryption with modelled throughput."""
+        self._full("AES")
+        self._charge(self._host.aes_ms_per_kb * len(plaintext) / 1024.0, "aes-encrypt")
+        return AES128(key).encrypt_cbc(plaintext, iv)
+
+    def aes_decrypt_cbc(self, key: bytes, ciphertext: bytes, iv: bytes) -> bytes:
+        """AES-128-CBC decryption with modelled throughput."""
+        self._full("AES")
+        self._charge(self._host.aes_ms_per_kb * len(ciphertext) / 1024.0, "aes-decrypt")
+        return AES128(key).decrypt_cbc(ciphertext, iv)
+
+    # -- password hashing --------------------------------------------------------------
+
+    def md5crypt(self, password: bytes, salt: bytes) -> str:
+        """md5crypt — what the SSH PAL computes (Figure 7's
+        ``md5crypt(salt, password)``)."""
+        self._full("md5crypt")
+        self._charge(self._host.md5crypt_ms, "md5crypt")
+        return md5crypt(password, salt)

@@ -1,0 +1,142 @@
+"""Memory-management module: malloc/free/realloc over an in-SLB heap.
+
+Paper §5.1: "We have implemented a small version of malloc/free/realloc
+for use by applications.  The memory region used as the heap is simply a
+large global buffer."  The reproduction implements a real first-fit
+allocator with block headers, splitting, and coalescing, operating on a
+region of simulated physical memory inside the SLB — so allocations live
+in the protected region and are erased by the SLB Core's cleanup phase
+like everything else.
+
+Block format (all fields big-endian, 8-byte header)::
+
+    +0  u32  block size, including the header
+    +4  u8   1 = allocated, 0 = free
+    +5  u8[3] padding
+    +8  payload...
+"""
+
+from __future__ import annotations
+
+from repro.errors import PALRuntimeError
+from repro.hw.memory import PhysicalMemory
+
+_HEADER = 8
+_MIN_BLOCK = _HEADER + 8
+
+
+class PALHeap:
+    """A first-fit heap allocator over ``[base, base+size)``."""
+
+    def __init__(self, memory: PhysicalMemory, base: int, size: int) -> None:
+        if size < _MIN_BLOCK:
+            raise PALRuntimeError("heap region too small")
+        self._memory = memory
+        self.base = base
+        self.size = size
+        self._write_header(base, size, allocated=False)
+
+    # -- header I/O --------------------------------------------------------------
+
+    def _read_header(self, addr: int) -> tuple:
+        raw = self._memory.read(addr, _HEADER)
+        return int.from_bytes(raw[:4], "big"), bool(raw[4])
+
+    def _write_header(self, addr: int, block_size: int, allocated: bool) -> None:
+        self._memory.write(
+            addr,
+            block_size.to_bytes(4, "big") + bytes([1 if allocated else 0]) + b"\x00" * 3,
+        )
+
+    def _blocks(self):
+        addr = self.base
+        end = self.base + self.size
+        while addr < end:
+            block_size, allocated = self._read_header(addr)
+            if block_size < _MIN_BLOCK or addr + block_size > end:
+                raise PALRuntimeError(f"heap corruption at {addr:#x}")
+            yield addr, block_size, allocated
+            addr += block_size
+
+    # -- public API ----------------------------------------------------------------
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns the payload address.
+
+        Raises :class:`PALRuntimeError` when the heap is exhausted — PALs
+        have no OS to page for them, exactly like the paper's environment.
+        """
+        if nbytes <= 0:
+            raise PALRuntimeError("malloc of non-positive size")
+        needed = _HEADER + ((nbytes + 7) & ~7)
+        for addr, block_size, allocated in self._blocks():
+            if allocated or block_size < needed:
+                continue
+            remainder = block_size - needed
+            if remainder >= _MIN_BLOCK:
+                self._write_header(addr, needed, allocated=True)
+                self._write_header(addr + needed, remainder, allocated=False)
+            else:
+                self._write_header(addr, block_size, allocated=True)
+            return addr + _HEADER
+        raise PALRuntimeError(f"heap exhausted allocating {nbytes} bytes")
+
+    def free(self, payload_addr: int) -> None:
+        """Release an allocation; coalesces adjacent free blocks."""
+        addr = payload_addr - _HEADER
+        block_size, allocated = self._validated_block(addr)
+        if not allocated:
+            raise PALRuntimeError(f"double free at {payload_addr:#x}")
+        self._write_header(addr, block_size, allocated=False)
+        self._coalesce()
+
+    def realloc(self, payload_addr: int, nbytes: int) -> int:
+        """Resize an allocation, moving it if necessary."""
+        addr = payload_addr - _HEADER
+        block_size, allocated = self._validated_block(addr)
+        if not allocated:
+            raise PALRuntimeError("realloc of a free block")
+        old_payload = block_size - _HEADER
+        if nbytes <= old_payload:
+            return payload_addr
+        data = self._memory.read(payload_addr, old_payload)
+        self.free(payload_addr)
+        new_addr = self.malloc(nbytes)
+        self._memory.write(new_addr, data)
+        return new_addr
+
+    # -- internals --------------------------------------------------------------------
+
+    def _validated_block(self, addr: int) -> tuple:
+        for block_addr, block_size, allocated in self._blocks():
+            if block_addr == addr:
+                return block_size, allocated
+        raise PALRuntimeError(f"{addr + _HEADER:#x} is not a heap allocation")
+
+    def _coalesce(self) -> None:
+        merged = True
+        while merged:
+            merged = False
+            previous = None
+            for addr, block_size, allocated in list(self._blocks()):
+                if previous is not None:
+                    prev_addr, prev_size, prev_alloc = previous
+                    if not prev_alloc and not allocated:
+                        self._write_header(prev_addr, prev_size + block_size, allocated=False)
+                        merged = True
+                        break
+                previous = (addr, block_size, allocated)
+
+    # -- diagnostics --------------------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        """Total payload capacity currently free."""
+        return sum(
+            block_size - _HEADER
+            for _, block_size, allocated in self._blocks()
+            if not allocated
+        )
+
+    def allocated_blocks(self) -> int:
+        """Number of live allocations."""
+        return sum(1 for _, _, allocated in self._blocks() if allocated)

@@ -1,0 +1,201 @@
+"""Replay-protected sealed storage (paper §4.3 and Figure 4).
+
+TPM Seal/Unseal guarantee that only the intended PAL can *read* a blob,
+but the untrusted OS stores the ciphertexts and can always present a stale
+one — the password-database rollback attack of §4.3.2.  Figure 4's fix
+binds a secure-counter value into every sealed object::
+
+    Seal(d):                     Unseal(c):
+      IncrementCounter()           d‖j′ ← TPM_Unseal(c)
+      j ← ReadCounter()            j ← ReadCounter()
+      c ← TPM_Seal(d‖j, PCRs)      if j′ ≠ j: ⊥ else d
+
+:class:`ReplayProtectedStorage` implements the protocol over the TPM's
+monotonic-counter facility, with the counter's use access-controlled by
+the same PAL-identity PCR policy as the sealed data.  Creating the counter
+requires the TPM owner authorization, which §4.3.2 notes can be delivered
+to a PAL over a secure channel; the simulation passes it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SealedStorageError
+from repro.tpm.structures import SealedBlob
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.modules.tpm_utils import PALTPMInterface
+
+#: Separator-free framing: an 8-byte big-endian counter value trails the data.
+_COUNTER_BYTES = 8
+
+
+@dataclass
+class VersionedBlob:
+    """A sealed blob plus the (public) counter id it is bound to."""
+
+    blob: SealedBlob
+    counter_id: int
+
+    def encode(self) -> bytes:
+        """Serialize for storage by the untrusted OS."""
+        return self.counter_id.to_bytes(4, "big") + self.blob.encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "VersionedBlob":
+        """Inverse of :meth:`encode`."""
+        if len(data) < 4:
+            raise SealedStorageError("truncated versioned blob")
+        return cls(
+            counter_id=int.from_bytes(data[:4], "big"),
+            blob=SealedBlob.decode(data[4:]),
+        )
+
+
+class NVReplayCounter:
+    """A secure counter built on TPM non-volatile storage (§4.3.2's second
+    realization option).
+
+    The counter value lives in an NV space whose read *and* write are
+    PCR-gated to the owning PAL's launch value: only that PAL, running
+    under Flicker, can read or advance it.  Defining the space needs the
+    TPM owner authorization, which §4.3.2 notes can be delivered to a PAL
+    over a secure channel.
+    """
+
+    _WIDTH = 8  # bytes
+
+    def __init__(self, tpm: "PALTPMInterface", nv_index: int) -> None:
+        self._tpm = tpm
+        self.nv_index = nv_index
+
+    @classmethod
+    def create(
+        cls,
+        tpm: "PALTPMInterface",
+        owner_auth: bytes,
+        nv_index: int,
+        pal_pcr17_value: bytes,
+    ) -> "NVReplayCounter":
+        """Define the PCR-gated NV space and zero the counter."""
+        policy = {17: pal_pcr17_value}
+        tpm.define_nv_space(
+            nv_index, cls._WIDTH, owner_auth,
+            read_pcr_policy=policy, write_pcr_policy=policy,
+        )
+        counter = cls(tpm, nv_index)
+        tpm.nv_write(nv_index, (0).to_bytes(cls._WIDTH, "big"))
+        return counter
+
+    def read(self) -> int:
+        """Current counter value (PCR-gated by the TPM)."""
+        return int.from_bytes(self._tpm.nv_read(self.nv_index), "big")
+
+    def increment(self) -> int:
+        """Advance the counter; returns the new value.
+
+        Monotonicity is enforced here (NV storage itself is writable);
+        the PCR gate ensures only the owning PAL reaches this code path
+        with access.
+        """
+        value = self.read() + 1
+        self._tpm.nv_write(self.nv_index, value.to_bytes(self._WIDTH, "big"))
+        return value
+
+
+class _TPMCounterBackend:
+    """Adapter presenting the TPM's monotonic-counter commands with the
+    same read/increment surface as :class:`NVReplayCounter`."""
+
+    def __init__(self, tpm: "PALTPMInterface", counter_id: int) -> None:
+        self._tpm = tpm
+        self.counter_id = counter_id
+
+    def read(self) -> int:
+        return self._tpm.read_counter(self.counter_id)
+
+    def increment(self) -> int:
+        return self._tpm.increment_counter(self.counter_id)
+
+
+class ReplayProtectedStorage:
+    """Figure 4's Seal/Unseal protocol, usable from inside a PAL.
+
+    Backed by either of §4.3.2's secure-counter options: the TPM's
+    monotonic counters (:meth:`create`) or a PCR-gated NV space
+    (:meth:`create_nv`).
+    """
+
+    def __init__(self, tpm: "PALTPMInterface", counter_id: Optional[int] = None,
+                 backend=None) -> None:
+        self._tpm = tpm
+        self._counter_id = counter_id
+        self._backend = backend
+        if backend is None and counter_id is not None:
+            self._backend = _TPMCounterBackend(tpm, counter_id)
+
+    @classmethod
+    def create(cls, tpm: "PALTPMInterface", owner_auth: bytes,
+               label: bytes = b"flicker-replay") -> "ReplayProtectedStorage":
+        """First-time setup: create the monotonic counter (owner-authorized)."""
+        counter_id = tpm.create_counter(label, owner_auth)
+        return cls(tpm, counter_id)
+
+    @classmethod
+    def create_nv(
+        cls,
+        tpm: "PALTPMInterface",
+        owner_auth: bytes,
+        nv_index: int,
+        pal_pcr17_value: bytes,
+    ) -> "ReplayProtectedStorage":
+        """First-time setup over a PCR-gated NV space instead of a
+        monotonic counter."""
+        backend = NVReplayCounter.create(tpm, owner_auth, nv_index, pal_pcr17_value)
+        storage = cls(tpm, counter_id=nv_index, backend=backend)
+        return storage
+
+    @classmethod
+    def attach_nv(cls, tpm: "PALTPMInterface", nv_index: int) -> "ReplayProtectedStorage":
+        """Re-attach to an existing NV-backed counter in a later session."""
+        return cls(tpm, counter_id=nv_index, backend=NVReplayCounter(tpm, nv_index))
+
+    @property
+    def counter_id(self) -> int:
+        """The TPM counter (or NV index) backing this store."""
+        if self._counter_id is None:
+            raise SealedStorageError("storage has no counter; use create()")
+        return self._counter_id
+
+    def seal(self, data: bytes, pal_pcr17_value: bytes) -> VersionedBlob:
+        """Figure 4 Seal: bump the counter, then seal data‖counter."""
+        self._backend.increment()
+        j = self._backend.read()
+        payload = data + j.to_bytes(_COUNTER_BYTES, "big")
+        blob = self._tpm.seal_to_pal(payload, pal_pcr17_value)
+        return VersionedBlob(blob=blob, counter_id=self.counter_id)
+
+    def unseal(self, versioned: VersionedBlob) -> bytes:
+        """Figure 4 Unseal: reject any blob whose embedded counter value
+        is not the counter's *current* value.
+
+        Raises :class:`SealedStorageError` on a stale (replayed) blob —
+        "either the counter was tampered with, or the unsealed data object
+        is a stale version and should be discarded."
+        """
+        if versioned.counter_id != self.counter_id:
+            raise SealedStorageError("blob is bound to a different counter")
+        payload = self._tpm.unseal(versioned.blob)
+        if len(payload) < _COUNTER_BYTES:
+            raise SealedStorageError("sealed payload too short for a counter")
+        data, j_prime = payload[:-_COUNTER_BYTES], int.from_bytes(
+            payload[-_COUNTER_BYTES:], "big"
+        )
+        j = self._backend.read()
+        if j_prime != j:
+            raise SealedStorageError(
+                f"replay detected: blob carries version {j_prime}, counter is at {j}"
+            )
+        return data

@@ -1,0 +1,83 @@
+"""Remote-party side of the §4.4.2 secure channel.
+
+The PAL half (:mod:`repro.core.modules.secure_channel`) generates a
+keypair under Flicker protection and outputs the public key; this module
+implements the *client*: verify the attestation that the key came from the
+intended PAL, then encrypt secrets to it.
+
+The attestation covers the establish-session's outputs — which contain
+the public key — so a man-in-the-middle OS cannot substitute its own key
+without breaking the PCR-17 chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.attestation import Attestation, FlickerVerifier
+from repro.core.modules.secure_channel import decode_channel_output
+from repro.core.slb import SLBImage
+from repro.crypto.pkcs1 import pkcs1_encrypt
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import SecureChannelError
+from repro.sim.rng import DeterministicRNG
+from repro.tpm.structures import SealedBlob
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.pal import PALContext
+
+
+@dataclass(frozen=True)
+class EstablishedChannel:
+    """The client's view of a verified channel."""
+
+    pal_public: RSAPublicKey
+    #: The sealed private key: opaque to the client, but the client often
+    #: stores/forwards it so the server need not (§6.3.1's optimization).
+    sdata: SealedBlob
+
+
+def generate_channel_keypair(ctx: "PALContext") -> bytes:
+    """Convenience for PALs: run the establish step and stage the output.
+
+    Equivalent to ``ctx.write_output(ctx.secure_channel.establish())`` but
+    also returns the payload for callers that embed it in a larger output.
+    """
+    payload = ctx.secure_channel.establish()
+    ctx.write_output(payload)
+    return payload
+
+
+class SecureChannelClient:
+    """A remote party establishing a channel into a PAL."""
+
+    def __init__(self, verifier: FlickerVerifier, rng: DeterministicRNG) -> None:
+        self._verifier = verifier
+        self._rng = rng
+
+    def accept(
+        self,
+        attestation: Attestation,
+        expected_image: SLBImage,
+        expected_nonce: bytes,
+    ) -> EstablishedChannel:
+        """Verify the establish-session attestation and extract the key.
+
+        Raises :class:`SecureChannelError` (wrapping the verification
+        failure) if the attestation does not prove the key was generated
+        by ``expected_image`` under Flicker protection.
+        """
+        report = self._verifier.verify(attestation, expected_image, expected_nonce)
+        if not report.ok:
+            raise SecureChannelError(
+                "channel establishment rejected: " + "; ".join(report.failures)
+            )
+        public, sealed = decode_channel_output(attestation.outputs)
+        return EstablishedChannel(pal_public=public, sdata=sealed)
+
+    def encrypt(self, channel: EstablishedChannel, message: bytes) -> bytes:
+        """Encrypt one message to the PAL (PKCS#1 v1.5, per §6.3.1)."""
+        if len(message) > channel.pal_public.modulus_bytes - 11:
+            raise SecureChannelError("message too long for the channel key")
+        return pkcs1_encrypt(channel.pal_public, message, self._rng)

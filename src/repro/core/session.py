@@ -1,0 +1,240 @@
+"""One-call Flicker session orchestration.
+
+:class:`FlickerPlatform` assembles a complete simulated deployment — the
+machine, the untrusted kernel, the flicker-module, the TPM quote daemon,
+and a Privacy CA — and exposes the API the applications in
+:mod:`repro.apps` build on:
+
+* :meth:`FlickerPlatform.execute_pal` — build (and cache) an SLB for a
+  PAL, stage inputs, run a session, and return a :class:`SessionResult`
+  with per-phase virtual timings (the Figure 2 timeline).
+* :meth:`FlickerPlatform.attest` — have the tqd answer a challenge for the
+  most recent session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.attestation import Attestation, FlickerVerifier
+from repro.core.flicker_module import DEFAULT_NONCE, FlickerModule
+from repro.core.pal import PAL
+from repro.core.slb import SLBImage, build_slb
+from repro.core.slb_core import SLBCoreResult
+from repro.hw.machine import Machine
+from repro.osim.kernel import UntrustedKernel
+from repro.osim.network import NetworkLink
+from repro.osim.tpm_driver import TPMQuoteDaemon
+from repro.sim.timing import DEFAULT_PROFILE, TimingProfile
+from repro.tpm.privacy_ca import PrivacyCA
+
+#: PCR indices a standard Flicker attestation covers.
+ATTESTED_PCRS = (17,)
+
+
+@dataclass
+class SessionResult:
+    """Everything an application learns from one Flicker session."""
+
+    outputs: bytes
+    image: SLBImage
+    nonce: bytes
+    inputs: bytes
+    #: (label, measurement) extends that reached PCR 17, in order.
+    event_log: Tuple[Tuple[str, bytes], ...]
+    #: Virtual milliseconds attributed to each Figure 2 phase.
+    phase_ms: Dict[str, float] = field(default_factory=dict)
+    #: Virtual milliseconds for the whole session.
+    total_ms: float = 0.0
+    #: Per-TPM-operation breakdown within the session (Table 1/4/Fig 9 rows).
+    tpm_ms: Dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> float:
+        """Convenience accessor for a phase timing (0.0 if absent)."""
+        return self.phase_ms.get(name, 0.0)
+
+    #: Canonical Figure 2 phase order for rendering.
+    FIGURE2_PHASES = (
+        "init-slb", "suspend-os", "skinit", "senter", "slb-init",
+        "pal-exec", "cleanup", "extend-pcr", "resume-os", "restore-os",
+    )
+
+    def format_phases(self) -> str:
+        """Human-readable Figure 2 timeline of this session."""
+        lines = []
+        for phase in self.FIGURE2_PHASES:
+            if phase in self.phase_ms:
+                lines.append(f"{phase:<12} {self.phase_ms[phase]:9.3f} ms")
+        lines.append(f"{'TOTAL':<12} {self.total_ms:9.3f} ms")
+        return "\n".join(lines)
+
+
+class FlickerPlatform:
+    """A fully assembled Flicker deployment on one simulated machine."""
+
+    def __init__(
+        self,
+        profile: TimingProfile = DEFAULT_PROFILE,
+        seed: int = 2008,
+        functional_rsa_bits: int = 512,
+        tpm_key_bits: int = 512,
+        platform_label: str = "hp-dc5750",
+        multicore_isolation: bool = False,
+        launch: str = "svm",
+    ) -> None:
+        acm = None
+        intel_authority = None
+        if launch == "txt":
+            from repro.hw.txt import IntelACMAuthority
+
+            intel_authority = IntelACMAuthority(seed=seed)
+            acm = intel_authority.sign_acm(b"flicker-sinit-acm" * 256)
+        self.launch = launch
+        self.acm = acm
+        self.machine = Machine(
+            profile=profile,
+            seed=seed,
+            tpm_key_bits=tpm_key_bits,
+            multicore_isolation=multicore_isolation,
+            intel_acm_authority=intel_authority,
+        )
+        self.kernel = UntrustedKernel(self.machine)
+        self.flicker = FlickerModule(
+            functional_rsa_bits=functional_rsa_bits, launch=launch, acm=acm
+        )
+        self.kernel.load_module(self.flicker)
+        self.privacy_ca = PrivacyCA(self.machine.rng)
+        self.tqd = TPMQuoteDaemon(self.kernel, self.privacy_ca, platform_label)
+        self.network = NetworkLink(
+            self.machine.clock,
+            self.machine.trace,
+            one_way_ms=profile.host.network_one_way_ms,
+            hops=profile.host.network_hops,
+        )
+        self._image_cache: Dict[Tuple[int, bool], SLBImage] = {}
+        self._installed: Optional[SLBImage] = None
+        self._last: Optional[SessionResult] = None
+
+    # -- building and installing SLBs -----------------------------------------------
+
+    def build(self, pal: PAL, optimize: bool = True) -> SLBImage:
+        """Build (and cache) the SLB image for a PAL."""
+        key = (id(pal), optimize)
+        if key not in self._image_cache:
+            self._image_cache[key] = build_slb(pal, optimize=optimize)
+        return self._image_cache[key]
+
+    def install(self, image: SLBImage) -> None:
+        """Install an SLB through the sysfs interface (as an application
+        process would: ``open``/``write`` on ``flicker/slb``)."""
+        self.kernel.sysfs.write("flicker/slb", image.image)
+        self._installed = image
+
+    # -- running sessions ----------------------------------------------------------------
+
+    def execute_pal(
+        self,
+        pal: PAL,
+        inputs: bytes = b"",
+        nonce: bytes = DEFAULT_NONCE,
+        optimize: bool = True,
+    ) -> SessionResult:
+        """Run one Flicker session of ``pal`` and return its result.
+
+        Raises :class:`~repro.errors.PALRuntimeError` if the PAL faulted
+        (the OS is restored first).
+        """
+        if self.launch == "txt":
+            optimize = False  # SENTER measures the full MLE itself
+        image = self.build(pal, optimize=optimize)
+        return self.execute_image(image, inputs=inputs, nonce=nonce)
+
+    def execute_image(
+        self,
+        image: SLBImage,
+        inputs: bytes = b"",
+        nonce: bytes = DEFAULT_NONCE,
+    ) -> SessionResult:
+        """Run one session of an already built SLB image."""
+        if self._installed is not image:
+            self.install(image)
+        clock = self.machine.clock
+        clock.reset_spans()
+        self.kernel.sysfs.write("flicker/inputs", inputs)
+        start = clock.now()
+        tpm_before = self._tpm_op_totals()
+        self.kernel.sysfs.write("flicker/control", b"go:" + nonce.hex().encode("ascii"))
+        core_result: SLBCoreResult = self.flicker.last_result
+        outputs = self.kernel.sysfs.read("flicker/outputs")
+        spans = clock.span_totals()
+        tpm_after = self._tpm_op_totals()
+        result = SessionResult(
+            outputs=outputs,
+            image=image,
+            nonce=nonce,
+            inputs=inputs,
+            event_log=core_result.event_log,
+            phase_ms={k: v for k, v in spans.items()},
+            total_ms=clock.elapsed_since(start),
+            tpm_ms={
+                op: tpm_after.get(op, 0.0) - tpm_before.get(op, 0.0)
+                for op in tpm_after
+                if tpm_after.get(op, 0.0) - tpm_before.get(op, 0.0) > 0
+            },
+        )
+        self._last = result
+        return result
+
+    def _tpm_op_totals(self) -> Dict[str, float]:
+        """Cumulative virtual time per TPM op, from the trace (approximate:
+        attributes each op its profile cost)."""
+        totals: Dict[str, float] = {}
+        timings = self.machine.profile.tpm
+        cost = {
+            "pcr_extend": timings.extend_ms,
+            "pcr_read": timings.pcr_read_ms,
+            "quote": timings.quote_ms,
+            "oiap_start": timings.session_ms,
+            "osap_start": timings.session_ms,
+        }
+        for event in self.machine.trace.events(source="tpm"):
+            if event.kind in cost:
+                totals[event.kind] = totals.get(event.kind, 0.0) + cost[event.kind]
+            elif event.kind == "seal":
+                totals["seal"] = totals.get("seal", 0.0) + timings.seal_ms(event.detail["nbytes"])
+            elif event.kind == "unseal":
+                totals["unseal"] = totals.get("unseal", 0.0) + timings.unseal_ms(event.detail["nbytes"])
+            elif event.kind == "get_random":
+                totals["get_random"] = totals.get("get_random", 0.0) + timings.getrandom_ms(event.detail["nbytes"])
+        return totals
+
+    # -- attestation -----------------------------------------------------------------------
+
+    def attest(self, nonce: bytes, session: Optional[SessionResult] = None) -> Attestation:
+        """Produce the attestation for a session (default: the most recent).
+
+        Runs on the *untrusted* OS — the tqd loads the AIK and quotes PCR
+        17 with the verifier's nonce (§4.4.1)."""
+        target = session or self._last
+        if target is None:
+            raise RuntimeError("no session to attest")
+        pcrs = (17, 18) if self.launch == "txt" else ATTESTED_PCRS
+        quote, cert = self.tqd.attest(nonce, pcrs)
+        return Attestation(
+            quote=quote,
+            aik_certificate=cert,
+            event_log=target.event_log,
+            inputs=target.inputs,
+            outputs=target.outputs,
+            nonce=nonce,
+        )
+
+    def verifier(self) -> FlickerVerifier:
+        """A verifier trusting this deployment's Privacy CA."""
+        return FlickerVerifier(self.privacy_ca.public_key)
+
+    @property
+    def last_session(self) -> Optional[SessionResult]:
+        """The most recent session result."""
+        return self._last

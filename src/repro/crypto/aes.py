@@ -1,0 +1,192 @@
+"""AES-128 (FIPS 197), implemented from the specification.
+
+The paper's PAL crypto library includes AES for fast symmetric protection of
+data that is too large to push through the TPM's (slow) asymmetric sealed
+storage: the common pattern (paper §2.2) seals a symmetric key and encrypts
+the bulk data with it on the main CPU.  This module provides the block
+cipher plus CBC mode with PKCS#7 padding, which is what
+:mod:`repro.core.sealed_storage` uses for bulk payloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ReproError
+
+
+def _build_sbox() -> tuple:
+    """Compute the AES S-box from first principles (multiplicative inverse
+    in GF(2^8) followed by the affine transform)."""
+    # Log/antilog tables over GF(2^8) with generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        s = inv
+        for _ in range(4):
+            s = ((s << 1) | (s >> 7)) & 0xFF
+            inv ^= s
+        sbox[value] = inv ^ 0x63
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox), tuple(exp), tuple(log)
+
+
+_SBOX, _INV_SBOX, _EXP, _LOG = _build_sbox()
+
+
+def _gmul(a: int, b: int) -> int:
+    """Multiply in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+class AES128:
+    """AES with a 128-bit key: block operations plus CBC mode."""
+
+    block_size = 16
+    rounds = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ReproError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+        rcon = 1
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= rcon
+                rcon = _gmul(rcon, 2)
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        # Group into 11 round keys of 16 bytes (column-major state order).
+        return [sum(words[4 * r : 4 * r + 4], []) for r in range(11)]
+
+    # -- block primitives ----------------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box: tuple) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # State is column-major: byte (row r, col c) is state[4*c + r].
+        out = [0] * 16
+        for c in range(4):
+            for r in range(4):
+                out[4 * c + r] = state[4 * ((c + r) % 4) + r]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            for r in range(4):
+                out[4 * ((c + r) % 4) + r] = state[4 * c + r]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: List[int], inverse: bool) -> List[int]:
+        coeffs = (14, 11, 13, 9) if inverse else (2, 3, 1, 1)
+        out = [0] * 16
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            for r in range(4):
+                out[4 * c + r] = (
+                    _gmul(coeffs[0], col[r])
+                    ^ _gmul(coeffs[1], col[(r + 1) % 4])
+                    ^ _gmul(coeffs[2], col[(r + 2) % 4])
+                    ^ _gmul(coeffs[3], col[(r + 3) % 4])
+                )
+        return out
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(plaintext) != 16:
+            raise ReproError("AES block must be 16 bytes")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, 10):
+            self._sub_bytes(state, _SBOX)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state, inverse=False)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, _SBOX)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(ciphertext) != 16:
+            raise ReproError("AES block must be 16 bytes")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_keys[10])
+        for rnd in range(9, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            state = self._mix_columns(state, inverse=True)
+        state = self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    # -- CBC mode ------------------------------------------------------------
+
+    def encrypt_cbc(self, plaintext: bytes, iv: bytes) -> bytes:
+        """CBC-encrypt ``plaintext`` (PKCS#7 padded) under ``iv``."""
+        if len(iv) != 16:
+            raise ReproError("IV must be 16 bytes")
+        pad = 16 - (len(plaintext) % 16)
+        padded = plaintext + bytes([pad]) * pad
+        out = bytearray()
+        prev = iv
+        for i in range(0, len(padded), 16):
+            block = bytes(a ^ b for a, b in zip(padded[i : i + 16], prev))
+            prev = self.encrypt_block(block)
+            out += prev
+        return bytes(out)
+
+    def decrypt_cbc(self, ciphertext: bytes, iv: bytes) -> bytes:
+        """CBC-decrypt and strip PKCS#7 padding; raises on bad padding."""
+        if len(iv) != 16:
+            raise ReproError("IV must be 16 bytes")
+        if len(ciphertext) == 0 or len(ciphertext) % 16 != 0:
+            raise ReproError("ciphertext length must be a positive multiple of 16")
+        out = bytearray()
+        prev = iv
+        for i in range(0, len(ciphertext), 16):
+            block = ciphertext[i : i + 16]
+            plain = self.decrypt_block(block)
+            out += bytes(a ^ b for a, b in zip(plain, prev))
+            prev = block
+        pad = out[-1]
+        if pad < 1 or pad > 16 or out[-pad:] != bytes([pad]) * pad:
+            raise ReproError("bad PKCS#7 padding")
+        return bytes(out[:-pad])

@@ -1,0 +1,54 @@
+"""Hash-based deterministic random bit generator.
+
+The SSH PAL calls ``TPM_GetRandom`` for 128 bytes and uses them "to seed a
+pseudorandom number generator" (paper §7.4.1).  This module is that PRNG: a
+simple hash-DRBG in counter mode over our SHA-512, in the spirit of NIST
+SP 800-90A's Hash_DRBG (simplified: no personalization string or prediction
+resistance, which the simulation does not need).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha512 import sha512
+from repro.errors import ReproError
+
+
+class HashDRBG:
+    """Counter-mode DRBG over SHA-512, seeded once and reseedable."""
+
+    def __init__(self, seed: bytes) -> None:
+        if len(seed) < 16:
+            raise ReproError("DRBG seed must be at least 16 bytes")
+        self._v = sha512(b"flicker-drbg-init" + seed)
+        self._counter = 0
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the internal state."""
+        self._v = sha512(self._v + b"reseed" + entropy)
+
+    def generate(self, n: int) -> bytes:
+        """Return ``n`` pseudo-random bytes."""
+        if n < 0:
+            raise ReproError("cannot generate a negative number of bytes")
+        out = bytearray()
+        while len(out) < n:
+            block = sha512(self._v + self._counter.to_bytes(8, "big"))
+            self._counter += 1
+            out += block
+        # Ratchet the state forward so earlier output cannot be recovered
+        # from a later state compromise (backtracking resistance).
+        self._v = sha512(self._v + b"ratchet")
+        return bytes(out[:n])
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        if lo > hi:
+            raise ReproError("empty range")
+        span = hi - lo + 1
+        nbits = span.bit_length()
+        nbytes = (nbits + 7) // 8
+        while True:
+            candidate = int.from_bytes(self.generate(nbytes), "big")
+            candidate &= (1 << nbits) - 1
+            if candidate < span:
+                return lo + candidate

@@ -1,0 +1,47 @@
+"""HMAC (RFC 2104) over our own hash implementations.
+
+The distributed-computing application (paper §6.2) MACs its
+integrity-protected state with HMAC keyed by a TPM-sealed symmetric key;
+this module supplies HMAC-SHA1 (the paper's 160-bit key matches SHA-1's
+output size) and HMAC-MD5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.crypto.md5 import md5
+from repro.crypto.sha1 import sha1
+
+
+def _hmac(hash_fn: Callable[[bytes], bytes], block_size: int, key: bytes, message: bytes) -> bytes:
+    if len(key) > block_size:
+        key = hash_fn(key)
+    key = key.ljust(block_size, b"\x00")
+    o_key_pad = bytes(b ^ 0x5C for b in key)
+    i_key_pad = bytes(b ^ 0x36 for b in key)
+    return hash_fn(o_key_pad + hash_fn(i_key_pad + message))
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA1 of ``message`` under ``key`` (20-byte tag)."""
+    return _hmac(sha1, 64, key, message)
+
+
+def hmac_md5(key: bytes, message: bytes) -> bytes:
+    """HMAC-MD5 of ``message`` under ``key`` (16-byte tag)."""
+    return _hmac(md5, 64, key, message)
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit.
+
+    Real PAL code must compare MACs in constant time to avoid timing
+    side channels; the simulation preserves the idiom.
+    """
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0

@@ -1,0 +1,93 @@
+"""md5crypt — the ``$1$`` password hash from FreeBSD/glibc ``crypt(3)``.
+
+The SSH PAL (paper §6.3.1, Figure 7) computes ``md5crypt(salt, password)``
+and outputs the hash for comparison with the server's ``/etc/passwd``
+entry.  This is Poul-Henning Kamp's original algorithm: a salted MD5
+strengthened with 1000 rounds and a custom base64 alphabet.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.md5 import MD5, md5
+from repro.errors import ReproError
+
+_MAGIC = b"$1$"
+_ITOA64 = b"./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+def _to64(value: int, length: int) -> bytes:
+    out = bytearray()
+    for _ in range(length):
+        out.append(_ITOA64[value & 0x3F])
+        value >>= 6
+    return bytes(out)
+
+
+def md5crypt(password: bytes, salt: bytes) -> str:
+    """Return the full crypt string ``$1$<salt>$<hash>``.
+
+    ``salt`` is truncated to 8 bytes as in the reference implementation;
+    a leading ``$1$`` magic on the salt is tolerated and stripped.
+    """
+    if isinstance(password, str):  # convenience for callers
+        password = password.encode("utf-8")
+    if isinstance(salt, str):
+        salt = salt.encode("utf-8")
+    if salt.startswith(_MAGIC):
+        salt = salt[len(_MAGIC):]
+    if b"$" in salt:
+        salt = salt[: salt.index(b"$")]
+    salt = salt[:8]
+    if not salt:
+        raise ReproError("md5crypt requires a non-empty salt")
+    if any(b not in _ITOA64 for b in salt):
+        # crypt(3) salts are drawn from the itoa64 alphabet; anything else
+        # cannot round-trip through /etc/passwd.
+        raise ReproError("md5crypt salt must use the ./0-9A-Za-z alphabet")
+
+    ctx = MD5(password + _MAGIC + salt)
+    alternate = md5(password + salt + password)
+    remaining = len(password)
+    while remaining > 0:
+        ctx.update(alternate[: min(16, remaining)])
+        remaining -= 16
+    bits = len(password)
+    while bits:
+        if bits & 1:
+            ctx.update(b"\x00")
+        else:
+            ctx.update(password[:1])
+        bits >>= 1
+    final = ctx.digest()
+
+    # 1000 strengthening rounds with the reference's quirky schedule.
+    for i in range(1000):
+        round_ctx = MD5()
+        if i & 1:
+            round_ctx.update(password)
+        else:
+            round_ctx.update(final)
+        if i % 3:
+            round_ctx.update(salt)
+        if i % 7:
+            round_ctx.update(password)
+        if i & 1:
+            round_ctx.update(final)
+        else:
+            round_ctx.update(password)
+        final = round_ctx.digest()
+
+    encoded = bytearray()
+    for a, b, c in ((0, 6, 12), (1, 7, 13), (2, 8, 14), (3, 9, 15), (4, 10, 5)):
+        encoded += _to64((final[a] << 16) | (final[b] << 8) | final[c], 4)
+    encoded += _to64(final[11], 2)
+
+    return (_MAGIC + salt + b"$" + bytes(encoded)).decode("ascii")
+
+
+def md5crypt_verify(password: bytes, crypt_string: str) -> bool:
+    """Check ``password`` against a full ``$1$salt$hash`` crypt string."""
+    parts = crypt_string.split("$")
+    if len(parts) != 4 or parts[1] != "1":
+        raise ReproError("not an md5crypt string")
+    return md5crypt(password, parts[2].encode("ascii")) == crypt_string

@@ -1,0 +1,124 @@
+"""Multi-precision integer routines: modular arithmetic and primality.
+
+The paper's crypto library bundles a multi-precision integer library for
+RSA.  Python's ``int`` is already arbitrary precision, so this module
+supplies the number-theoretic layer above it: modular exponentiation
+(square-and-multiply, written out rather than delegating to ``pow`` so the
+algorithm is explicit and testable), the extended Euclidean algorithm,
+modular inverse, Miller–Rabin primality testing, and prime generation with
+trial division by small primes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ReproError
+from repro.sim.rng import DeterministicRNG
+
+# Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES: Tuple[int, ...] = tuple(
+    p for p in range(2, 2000)
+    if all(p % q for q in range(2, int(p ** 0.5) + 1))
+)
+
+
+def mod_pow(base: int, exponent: int, modulus: int) -> int:
+    """Left-to-right square-and-multiply modular exponentiation."""
+    if modulus <= 0:
+        raise ReproError("modulus must be positive")
+    if exponent < 0:
+        raise ReproError("negative exponents not supported; invert first")
+    base %= modulus
+    result = 1 % modulus  # modulus 1 has only the residue 0
+    while exponent:
+        if exponent & 1:
+            result = (result * base) % modulus
+        base = (base * base) % modulus
+        exponent >>= 1
+    return result
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor (Euclid)."""
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Return (g, x, y) with a*x + b*y == g == gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def mod_inverse(a: int, modulus: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``modulus``.
+
+    Raises :class:`ReproError` if the inverse does not exist.
+    """
+    g, x, _ = extended_gcd(a % modulus, modulus)
+    if g != 1:
+        raise ReproError(f"{a} has no inverse modulo {modulus}")
+    return x % modulus
+
+
+def is_probable_prime(n: int, rng: DeterministicRNG, rounds: int = 24) -> bool:
+    """Miller–Rabin primality test with ``rounds`` random witnesses."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randint(2, n - 2)
+        x = mod_pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: DeterministicRNG) -> int:
+    """Generate a random prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ReproError("prime size too small to be useful")
+    while True:
+        candidate = rng.odd_integer(bits)
+        # Quick trial division before the expensive Miller-Rabin rounds.
+        if any(candidate % p == 0 for p in _SMALL_PRIMES if p < candidate):
+            continue
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Big-endian fixed-width encoding of a non-negative integer."""
+    if value < 0:
+        raise ReproError("cannot encode negative integer")
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian decoding of a byte string to a non-negative integer."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,80 @@
+"""PKCS#1 v1.5 encryption and signatures (RFC 2437).
+
+The paper encrypts the user's SSH password with "PKCS1 encryption which is
+chosen-ciphertext-secure and nonmalleable" (§6.3.1, citing Kaliski &
+Staddon).  This module implements EME-PKCS1-v1_5 encryption/decryption and
+EMSA-PKCS1-v1_5 signatures over SHA-1 with the standard DigestInfo prefix.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mpi import bytes_to_int, int_to_bytes
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.crypto.sha1 import sha1
+from repro.errors import ReproError
+from repro.sim.rng import DeterministicRNG
+
+# ASN.1 DigestInfo prefix for SHA-1 (RFC 2437 §9.2.1).
+_SHA1_DIGEST_INFO = bytes.fromhex("3021300906052b0e03021a05000414")
+
+
+def pkcs1_encrypt(public: RSAPublicKey, message: bytes, rng: DeterministicRNG) -> bytes:
+    """EME-PKCS1-v1_5 encrypt ``message`` under ``public``."""
+    k = public.modulus_bytes
+    if len(message) > k - 11:
+        raise ReproError(f"message too long for modulus ({len(message)} > {k - 11})")
+    # Padding string PS: nonzero random bytes, at least 8 of them.
+    ps = bytearray()
+    while len(ps) < k - len(message) - 3:
+        byte = rng.bytes(1)
+        if byte != b"\x00":
+            ps += byte
+    em = b"\x00\x02" + bytes(ps) + b"\x00" + message
+    return int_to_bytes(public.raw_encrypt(bytes_to_int(em)), k)
+
+
+def pkcs1_decrypt(private: RSAPrivateKey, ciphertext: bytes) -> bytes:
+    """EME-PKCS1-v1_5 decrypt; raises :class:`ReproError` on bad padding."""
+    k = private.modulus_bytes
+    if len(ciphertext) != k:
+        raise ReproError("ciphertext length does not match modulus")
+    em = int_to_bytes(private.raw_decrypt(bytes_to_int(ciphertext)), k)
+    if em[:2] != b"\x00\x02":
+        raise ReproError("PKCS#1 decryption error")
+    try:
+        sep = em.index(b"\x00", 2)
+    except ValueError:
+        raise ReproError("PKCS#1 decryption error") from None
+    if sep < 10:  # at least 8 bytes of PS
+        raise ReproError("PKCS#1 decryption error")
+    return em[sep + 1 :]
+
+
+def _emsa_encode(message: bytes, k: int) -> bytes:
+    digest = sha1(message)
+    t = _SHA1_DIGEST_INFO + digest
+    if k < len(t) + 11:
+        raise ReproError("modulus too small for EMSA-PKCS1-v1_5/SHA-1")
+    ps = b"\xff" * (k - len(t) - 3)
+    return b"\x00\x01" + ps + b"\x00" + t
+
+
+def pkcs1_sign_sha1(private: RSAPrivateKey, message: bytes) -> bytes:
+    """EMSA-PKCS1-v1_5 signature over SHA-1(message)."""
+    k = private.modulus_bytes
+    em = _emsa_encode(message, k)
+    return int_to_bytes(private.raw_sign(bytes_to_int(em)), k)
+
+
+def pkcs1_verify_sha1(public: RSAPublicKey, message: bytes, signature: bytes) -> bool:
+    """Verify an EMSA-PKCS1-v1_5/SHA-1 signature.  Returns a boolean rather
+    than raising, because verifiers typically branch on the result."""
+    k = public.modulus_bytes
+    if len(signature) != k:
+        return False
+    try:
+        em = int_to_bytes(public.raw_verify(bytes_to_int(signature)), k)
+        expected = _emsa_encode(message, k)
+    except ReproError:
+        return False
+    return em == expected

@@ -1,0 +1,48 @@
+"""RC4 stream cipher.
+
+Part of the paper's PAL crypto inventory (Figure 6).  RC4 was already
+deprecated for new designs by 2008 but remained common in SSH/TLS stacks;
+the reproduction ships it for completeness and uses it nowhere
+security-critical.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class RC4:
+    """RC4 keystream generator with encrypt/decrypt (they are identical)."""
+
+    def __init__(self, key: bytes) -> None:
+        if not 1 <= len(key) <= 256:
+            raise ReproError("RC4 key must be 1..256 bytes")
+        s = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + s[i] + key[i % len(key)]) % 256
+            s[i], s[j] = s[j], s[i]
+        self._s = s
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, n: int) -> bytes:
+        """Return the next ``n`` keystream bytes."""
+        s, i, j = self._s, self._i, self._j
+        out = bytearray()
+        for _ in range(n):
+            i = (i + 1) % 256
+            j = (j + s[i]) % 256
+            s[i], s[j] = s[j], s[i]
+            out.append(s[(s[i] + s[j]) % 256])
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """XOR ``data`` with the keystream (encryption == decryption)."""
+        ks = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, ks))
+
+    # Aliases matching conventional cipher interfaces.
+    encrypt = process
+    decrypt = process

@@ -1,0 +1,131 @@
+"""Exception hierarchy for the Flicker reproduction.
+
+Every error raised by the simulated platform derives from :class:`ReproError`
+so that callers can distinguish simulation faults from programming errors.
+The sub-hierarchies mirror the layers of the system: hardware protection
+violations, TPM command failures, OS faults, and Flicker-session errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware layer
+# ---------------------------------------------------------------------------
+
+class HardwareError(ReproError):
+    """Base class for simulated-hardware errors."""
+
+
+class MemoryFault(HardwareError):
+    """An access touched physical memory outside the installed range."""
+
+
+class ProtectionFault(HardwareError):
+    """An access violated a hardware protection (ring, segment, or DEV)."""
+
+
+class DMAProtectionError(ProtectionFault):
+    """A DMA transfer targeted memory protected by the Device Exclusion
+    Vector."""
+
+
+class SegmentationFault(ProtectionFault):
+    """A memory access fell outside the active segment limit."""
+
+
+class PrivilegeError(ProtectionFault):
+    """An instruction required a more privileged CPU ring."""
+
+
+class SkinitError(HardwareError):
+    """SKINIT could not be executed (wrong core, bad SLB, busy APs...)."""
+
+
+class DebugAccessError(ProtectionFault):
+    """A hardware debugger probed memory while debug access was disabled."""
+
+
+# ---------------------------------------------------------------------------
+# TPM layer
+# ---------------------------------------------------------------------------
+
+class TPMError(ReproError):
+    """Base class for TPM command failures."""
+
+
+class TPMAuthError(TPMError):
+    """Authorization (OIAP/OSAP/owner-auth) failed."""
+
+
+class TPMPolicyError(TPMError):
+    """A PCR-bound operation was attempted in the wrong platform state
+    (e.g. Unseal with non-matching PCR values)."""
+
+
+class TPMNVError(TPMError):
+    """Non-volatile storage command failed (undefined space, bad size...)."""
+
+
+class TPMLocalityError(TPMError):
+    """A command required a locality the caller does not hold (e.g. the
+    dynamic-PCR reset that only the CPU may issue)."""
+
+
+# ---------------------------------------------------------------------------
+# OS layer
+# ---------------------------------------------------------------------------
+
+class OSError_(ReproError):
+    """Base class for simulated-OS errors (named with a trailing underscore
+    to avoid shadowing the builtin :class:`OSError`)."""
+
+
+class KernelPanic(OSError_):
+    """The simulated kernel reached an unrecoverable state."""
+
+
+class SysfsError(OSError_):
+    """Invalid interaction with a sysfs entry."""
+
+
+class ModuleLoadError(OSError_):
+    """A kernel module could not be loaded or initialised."""
+
+
+# ---------------------------------------------------------------------------
+# Flicker layer
+# ---------------------------------------------------------------------------
+
+class FlickerError(ReproError):
+    """Base class for Flicker-session errors."""
+
+
+class SLBFormatError(FlickerError):
+    """The Secure Loader Block image is malformed (bad length/entry,
+    oversized PAL...)."""
+
+
+class PALRuntimeError(FlickerError):
+    """The PAL faulted during execution inside the Flicker session."""
+
+
+class AttestationError(FlickerError):
+    """A TPM quote or its event log failed verification."""
+
+
+class SealedStorageError(FlickerError):
+    """Sealed-storage blob was rejected (wrong PAL, replay detected...)."""
+
+
+class SecureChannelError(FlickerError):
+    """Secure-channel protocol violation (bad nonce, bad padding...)."""
+
+
+class ExtractionError(ReproError):
+    """The PAL-extraction (automation) tool could not slice the target
+    function out of its host program."""

@@ -1,0 +1,41 @@
+"""Simulated hardware platform: an SVM-capable x86 machine.
+
+This package models the hardware Flicker depends on, at the level of
+abstraction the paper's security argument needs:
+
+* :mod:`repro.hw.memory` — sparse physical memory with page-granular
+  accounting.
+* :mod:`repro.hw.dev` — the Device Exclusion Vector that blocks DMA to
+  protected pages.
+* :mod:`repro.hw.cpu` — CPU cores with privilege rings, GDT/TSS
+  segmentation, paging state, and interrupt control; the BSP/AP distinction
+  that SKINIT's multi-core handshake requires.
+* :mod:`repro.hw.apic` — INIT inter-processor interrupts.
+* :mod:`repro.hw.devices` — DMA-capable peripherals (NIC, block devices)
+  and a hardware debugger, used by tests to *attack* protected memory.
+* :mod:`repro.hw.skinit` — the SKINIT instruction semantics.
+* :mod:`repro.hw.machine` — the assembled platform (CPU + memory + TPM +
+  devices + virtual clock + trace).
+"""
+
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.dev import DeviceExclusionVector
+from repro.hw.cpu import CPU, CPUCore, SegmentDescriptor, GDT, TaskStateSegment
+from repro.hw.apic import APIC
+from repro.hw.devices import DMADevice, HardwareDebugger
+from repro.hw.machine import Machine
+
+__all__ = [
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "DeviceExclusionVector",
+    "CPU",
+    "CPUCore",
+    "SegmentDescriptor",
+    "GDT",
+    "TaskStateSegment",
+    "APIC",
+    "DMADevice",
+    "HardwareDebugger",
+    "Machine",
+]

@@ -1,0 +1,46 @@
+"""Advanced Programmable Interrupt Controller (IPI delivery).
+
+The flicker-module sends INIT inter-processor interrupts to the Application
+Processors after descheduling them (paper §4.2, "Suspend OS"): SKINIT's
+handshake requires every AP to have taken an INIT IPI.  A busy AP (one still
+running a process) cannot take the IPI — the OS must use CPU hotplug first.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SkinitError
+from repro.hw.cpu import CPU
+
+
+class APIC:
+    """Minimal APIC model: INIT IPI broadcast and per-core delivery."""
+
+    def __init__(self, cpu: CPU) -> None:
+        self._cpu = cpu
+
+    def send_init_ipi(self, core_id: int) -> None:
+        """Deliver an INIT IPI to one AP.
+
+        Raises :class:`SkinitError` if the target is the BSP (the BSP must
+        keep running to execute SKINIT) or if the AP is still executing
+        processes (it has not been descheduled).
+        """
+        core = self._cpu.cores[core_id]
+        if core.is_bsp:
+            raise SkinitError("cannot send INIT IPI to the BSP")
+        if not core.halted:
+            raise SkinitError(
+                f"AP {core_id} is still executing; deschedule it (CPU hotplug) "
+                "before sending INIT"
+            )
+        core.received_init_ipi = True
+
+    def broadcast_init_ipi(self) -> None:
+        """Send INIT to every AP (what the flicker-module does)."""
+        for core in self._cpu.aps:
+            self.send_init_ipi(core.core_id)
+
+    def release_aps(self) -> None:
+        """Clear INIT state when the OS resumes and reschedules the APs."""
+        for core in self._cpu.aps:
+            core.received_init_ipi = False

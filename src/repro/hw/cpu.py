@@ -1,0 +1,190 @@
+"""CPU model: cores, privilege rings, segmentation, paging state.
+
+The model is *functional*, not cycle-accurate: it tracks exactly the
+architectural state Flicker's correctness and security depend on —
+
+* which core is the Boot Strap Processor (SKINIT may only run there);
+* whether each Application Processor is idle and has taken an INIT IPI
+  (SKINIT's multi-core handshake requirement);
+* the current privilege ring of each core (SKINIT is a ring-0 instruction;
+  the OS-Protection module drops the PAL to ring 3);
+* the active GDT and segment registers (the SLB Core's segment-base trick
+  that lets non-position-independent PAL code believe it starts at 0);
+* paging state (CR3 and whether paging is enabled — SKINIT enters flat
+  32-bit protected mode with paging disabled);
+* the interrupt and debug-access flags SKINIT clears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import PrivilegeError, SegmentationFault
+
+
+@dataclass
+class SegmentDescriptor:
+    """A simplified GDT segment descriptor: base, limit, and DPL."""
+
+    name: str
+    base: int
+    limit: int  # size in bytes; valid offsets are [0, limit)
+    dpl: int = 0  # descriptor privilege level
+    executable: bool = False
+
+    def translate(self, offset: int, length: int = 1) -> int:
+        """Translate a segment offset to a physical address, enforcing the
+        segment limit.  Raises :class:`SegmentationFault` on overflow."""
+        if offset < 0 or offset + length > self.limit:
+            raise SegmentationFault(
+                f"offset [{offset:#x}, {offset + length:#x}) exceeds limit "
+                f"{self.limit:#x} of segment {self.name!r}"
+            )
+        return self.base + offset
+
+
+class GDT:
+    """Global Descriptor Table: a small named collection of descriptors."""
+
+    def __init__(self, name: str = "gdt") -> None:
+        self.name = name
+        self._entries: Dict[str, SegmentDescriptor] = {}
+
+    def install(self, descriptor: SegmentDescriptor) -> None:
+        """Add or replace a descriptor."""
+        self._entries[descriptor.name] = descriptor
+
+    def lookup(self, name: str) -> SegmentDescriptor:
+        """Fetch a descriptor; raises :class:`SegmentationFault` if absent."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise SegmentationFault(f"no descriptor {name!r} in {self.name}") from None
+
+    def names(self) -> List[str]:
+        """Installed descriptor names."""
+        return sorted(self._entries)
+
+    @classmethod
+    def flat(cls, memory_size: int, name: str = "flat-gdt") -> "GDT":
+        """A GDT whose code/data/stack segments cover all of memory — the
+        configuration the untrusted OS runs with."""
+        gdt = cls(name)
+        gdt.install(SegmentDescriptor("cs", 0, memory_size, dpl=0, executable=True))
+        gdt.install(SegmentDescriptor("ds", 0, memory_size, dpl=0))
+        gdt.install(SegmentDescriptor("ss", 0, memory_size, dpl=0))
+        return gdt
+
+
+@dataclass
+class TaskStateSegment:
+    """Skeleton TSS: enough to model the ring-3 → ring-0 return path that
+    the OS-Protection module uses (paper §5.1.2)."""
+
+    ring0_stack_base: int = 0
+    ring0_entry: str = ""  # symbolic label of the SLB Core re-entry point
+
+
+@dataclass
+class CPUCore:
+    """One core of the simulated processor."""
+
+    core_id: int
+    is_bsp: bool
+    ring: int = 0
+    interrupts_enabled: bool = True
+    debug_access_enabled: bool = True
+    paging_enabled: bool = True
+    cr3: int = 0
+    halted: bool = False
+    received_init_ipi: bool = False
+    gdt: Optional[GDT] = None
+    segments: Dict[str, str] = field(default_factory=dict)  # reg -> descriptor name
+    tss: Optional[TaskStateSegment] = None
+
+    # -- privilege ------------------------------------------------------------
+
+    def require_ring(self, max_ring: int, what: str) -> None:
+        """Raise unless the core is at privilege level ``max_ring`` or
+        better (numerically lower)."""
+        if self.ring > max_ring:
+            raise PrivilegeError(
+                f"{what} requires CPL<={max_ring}, core {self.core_id} is at CPL={self.ring}"
+            )
+
+    def load_gdt(self, gdt: GDT) -> None:
+        """LGDT: make ``gdt`` the active descriptor table."""
+        self.gdt = gdt
+
+    def load_segment(self, register: str, descriptor_name: str) -> None:
+        """Load a segment register (cs/ds/ss/...) with a descriptor from the
+        active GDT."""
+        if self.gdt is None:
+            raise SegmentationFault("no GDT loaded")
+        self.gdt.lookup(descriptor_name)  # validate existence
+        self.segments[register] = descriptor_name
+
+    def active_segment(self, register: str) -> SegmentDescriptor:
+        """The descriptor currently loaded in ``register``."""
+        if self.gdt is None:
+            raise SegmentationFault("no GDT loaded")
+        name = self.segments.get(register)
+        if name is None:
+            raise SegmentationFault(f"segment register {register!r} not loaded")
+        return self.gdt.lookup(name)
+
+    # -- saved-state snapshots --------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Capture the state the flicker-module must restore after a session."""
+        return {
+            "ring": self.ring,
+            "interrupts_enabled": self.interrupts_enabled,
+            "paging_enabled": self.paging_enabled,
+            "cr3": self.cr3,
+            "gdt": self.gdt,
+            "segments": dict(self.segments),
+            "debug_access_enabled": self.debug_access_enabled,
+        }
+
+    def restore(self, snapshot: Dict) -> None:
+        """Restore a snapshot taken with :meth:`snapshot`."""
+        self.ring = snapshot["ring"]
+        self.interrupts_enabled = snapshot["interrupts_enabled"]
+        self.paging_enabled = snapshot["paging_enabled"]
+        self.cr3 = snapshot["cr3"]
+        self.gdt = snapshot["gdt"]
+        self.segments = dict(snapshot["segments"])
+        self.debug_access_enabled = snapshot["debug_access_enabled"]
+
+
+class CPU:
+    """A multi-core SVM-capable processor.
+
+    Core 0 is the Boot Strap Processor; the rest are Application
+    Processors.  The paper's test machine is a dual-core Athlon64 X2, so the
+    default is two cores.
+    """
+
+    def __init__(self, num_cores: int = 2) -> None:
+        if num_cores < 1:
+            raise PrivilegeError("a CPU needs at least one core")
+        self.cores: List[CPUCore] = [
+            CPUCore(core_id=i, is_bsp=(i == 0)) for i in range(num_cores)
+        ]
+
+    @property
+    def bsp(self) -> CPUCore:
+        """The Boot Strap Processor (core 0)."""
+        return self.cores[0]
+
+    @property
+    def aps(self) -> List[CPUCore]:
+        """The Application Processors (all cores except the BSP)."""
+        return self.cores[1:]
+
+    def all_aps_quiesced(self) -> bool:
+        """True when every AP is halted and has acknowledged an INIT IPI —
+        the precondition SKINIT's handshake verifies."""
+        return all(core.halted and core.received_init_ipi for core in self.aps)

@@ -1,0 +1,62 @@
+"""DMA-capable peripherals and the hardware debugger.
+
+The paper's adversary controls "DMA-enabled devices" such as a compromised
+Ethernet card on the PCI bus (§3.1), and may attach a hardware debugger —
+but SKINIT disables debug access, "even for hardware debuggers" (§2.4).
+These classes give the test suite concrete attack vehicles: a
+:class:`DMADevice` issues transfers through the machine's DMA bridge (which
+consults the DEV), and a :class:`HardwareDebugger` probes memory through the
+debug port (which SKINIT locks out).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import DebugAccessError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.hw.machine import Machine
+
+
+class DMADevice:
+    """A bus-mastering peripheral (e.g. a malicious NIC).
+
+    All accesses go through :meth:`Machine.dma_read` /
+    :meth:`Machine.dma_write`, so the Device Exclusion Vector is always
+    consulted — exactly the hardware path the paper relies on.
+    """
+
+    def __init__(self, machine: "Machine", name: str) -> None:
+        self._machine = machine
+        self.name = name
+
+    def dma_read(self, addr: int, length: int) -> bytes:
+        """Issue a DMA read; raises DMAProtectionError on protected pages."""
+        return self._machine.dma_read(self, addr, length)
+
+    def dma_write(self, addr: int, data: bytes) -> None:
+        """Issue a DMA write; raises DMAProtectionError on protected pages."""
+        self._machine.dma_write(self, addr, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DMADevice({self.name!r})"
+
+
+class HardwareDebugger:
+    """An attached hardware debugger probing through the debug port."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+
+    def probe(self, addr: int, length: int) -> bytes:
+        """Read memory via the debug interface.
+
+        Raises :class:`DebugAccessError` while a Flicker session has debug
+        access disabled.
+        """
+        if not self._machine.cpu.bsp.debug_access_enabled:
+            raise DebugAccessError(
+                "hardware debug access is disabled (SKINIT protections active)"
+            )
+        return self._machine.memory.read(addr, length)

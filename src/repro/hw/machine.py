@@ -1,0 +1,190 @@
+"""The assembled platform: CPU + memory + TPM + DEV + devices + clock.
+
+A :class:`Machine` is the root object of every simulation.  It owns the
+virtual clock and event trace, constructs the TPM (keeping the locality-4
+CPU interface private), and mediates every DMA transfer through the Device
+Exclusion Vector.
+
+"Executing" an SLB is modelled by a registry that maps the SHA-1
+measurement of an SLB image to a Python entry routine: SKINIT measures the
+bytes actually present in memory and dispatches on that digest, so any
+tampering with the in-memory image changes the measurement — the tampered
+code may run, but PCR 17 will record what *actually* ran, which is
+precisely the property the paper's attestation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.crypto.sha1 import sha1_cached as sha1
+from repro.hw.apic import APIC
+from repro.hw.cpu import CPU, GDT
+from repro.hw.dev import DeviceExclusionVector
+from repro.hw.devices import DMADevice, HardwareDebugger
+from repro.hw.memory import PhysicalMemory
+from repro.hw import skinit as skinit_mod
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRNG
+from repro.sim.timing import DEFAULT_PROFILE, TimingProfile
+from repro.sim.trace import EventTrace
+from repro.tpm.tpm import LOCALITY_CPU, LOCALITY_OS, TPM, TPMInterface
+
+#: Default physical memory: 128 MB is plenty for the simulated workloads.
+DEFAULT_MEMORY_BYTES = 128 * 1024 * 1024
+
+#: Entry routine type for registered SLB executables.
+EntryRoutine = Callable[["Machine", Any, int], Any]
+
+
+class Machine:
+    """One simulated SVM-capable computer with a v1.2 TPM."""
+
+    def __init__(
+        self,
+        profile: TimingProfile = DEFAULT_PROFILE,
+        memory_bytes: int = DEFAULT_MEMORY_BYTES,
+        num_cores: int = 2,
+        seed: int = 2008,
+        tpm_key_bits: int = 512,
+        intel_acm_authority=None,
+        multicore_isolation: bool = False,
+        tpm_jitter_fraction: float = 0.0,
+    ) -> None:
+        self.profile = profile
+        self.clock = VirtualClock()
+        self.trace = EventTrace()
+        self.rng = DeterministicRNG(seed)
+        self.memory = PhysicalMemory(memory_bytes)
+        self.dev = DeviceExclusionVector()
+        self.cpu = CPU(num_cores=num_cores)
+        self.apic = APIC(self.cpu)
+        self.tpm = TPM(
+            clock=self.clock,
+            trace=self.trace,
+            rng=self.rng,
+            timings=profile.tpm,
+            key_bits=tpm_key_bits,
+            jitter_fraction=tpm_jitter_fraction,
+        )
+        #: Locality-4 TPM interface; held by the machine, never by software.
+        self.cpu_tpm_interface: TPMInterface = self.tpm.interface(LOCALITY_CPU)
+        self.debugger = HardwareDebugger(self)
+        self._dma_devices: Dict[str, DMADevice] = {}
+        self._executables: Dict[bytes, EntryRoutine] = {}
+        #: Intel TXT support: the ACM authority whose key is fused into the
+        #: chipset (None on AMD-only machines; see :mod:`repro.hw.txt`).
+        self._intel_acm_authority = intel_acm_authority
+        #: Next-generation hardware mode (the paper's §7.5 recommendation
+        #: from [19]): secure execution on a subset of cores, letting the
+        #: untrusted OS keep running on the others during a session.
+        self.multicore_isolation = multicore_isolation
+
+        # Power-on: flat segments covering all of memory on every core.
+        boot_gdt = GDT.flat(self.memory.size_bytes, name="boot-gdt")
+        for core in self.cpu.cores:
+            core.load_gdt(boot_gdt)
+            for register in ("cs", "ds", "ss"):
+                core.load_segment(register, register)
+
+    # -- software-visible TPM access -------------------------------------------
+
+    def os_tpm_interface(self) -> TPMInterface:
+        """A locality-0 TPM interface, as used by OS drivers and PALs."""
+        return self.tpm.interface(LOCALITY_OS)
+
+    # -- DMA bridge --------------------------------------------------------------
+
+    def attach_dma_device(self, name: str) -> DMADevice:
+        """Attach a DMA-capable peripheral and return its handle."""
+        device = DMADevice(self, name)
+        self._dma_devices[name] = device
+        return device
+
+    def dma_read(self, device: DMADevice, addr: int, length: int) -> bytes:
+        """DMA read on behalf of ``device``; consults the DEV."""
+        self.dev.check_dma(addr, length, device.name)
+        self.trace.emit(self.clock.now(), "dev", "dma_read",
+                        device=device.name, addr=addr, length=length)
+        return self.memory.read(addr, length)
+
+    def dma_write(self, device: DMADevice, addr: int, data: bytes) -> None:
+        """DMA write on behalf of ``device``; consults the DEV."""
+        self.dev.check_dma(addr, len(data), device.name)
+        self.trace.emit(self.clock.now(), "dev", "dma_write",
+                        device=device.name, addr=addr, length=len(data))
+        self.memory.write(addr, data)
+
+    # -- SLB executable registry ---------------------------------------------------
+
+    def register_executable(self, image: bytes, entry_routine: EntryRoutine) -> bytes:
+        """Register the entry routine for an SLB image.
+
+        The registry key is the SHA-1 of the *measured* portion of the
+        image (its declared length), mirroring how real hardware would
+        simply execute whatever bytes are present: dispatch is by content,
+        so replacing the bytes in memory changes what runs.
+        Returns the measurement.
+        """
+        length, _ = skinit_mod.parse_slb_header(image)
+        measurement = sha1(image[:length])
+        self._executables[measurement] = entry_routine
+        return measurement
+
+    def lookup_executable(self, measurement: bytes) -> Optional[EntryRoutine]:
+        """Entry routine for a measured SLB, or ``None`` if unknown."""
+        return self._executables.get(measurement)
+
+    # -- instructions ---------------------------------------------------------------
+
+    def skinit(self, core_id: int, slb_base: int) -> Any:
+        """Execute the SKINIT instruction (see :mod:`repro.hw.skinit`)."""
+        return skinit_mod.skinit(self, core_id, slb_base)
+
+    @property
+    def intel_acm_key(self):
+        """The chipset-fused ACM verification key, or ``None`` on machines
+        without TXT support."""
+        if self._intel_acm_authority is None:
+            return None
+        return self._intel_acm_authority.public_key
+
+    def senter(self, core_id: int, acm, mle_base: int) -> Any:
+        """Execute GETSEC[SENTER] (see :mod:`repro.hw.txt`)."""
+        from repro.hw import txt as txt_mod
+
+        return txt_mod.senter(self, core_id, acm, mle_base)
+
+    # -- host-CPU work accounting ------------------------------------------------------
+
+    def charge_host_sha1(self, num_bytes: int, label: str = "sha1") -> None:
+        """Charge virtual time for hashing ``num_bytes`` on the host CPU."""
+        self.clock.advance(self.profile.host.sha1_ms_per_kb * num_bytes / 1024.0)
+        self.trace.emit(self.clock.now(), "cpu", "hash", label=label, nbytes=num_bytes)
+
+    def charge_work(self, ms: float, label: str) -> None:
+        """Charge arbitrary application work time to the virtual clock."""
+        self.clock.advance(ms)
+        self.trace.emit(self.clock.now(), "cpu", "work", label=label, ms=ms)
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def reboot(self) -> None:
+        """Power-cycle the platform.
+
+        Static PCRs reset to zero and dynamic PCRs to −1 (paper §2.3), the
+        DEV clears, and all cores return to ring 0 with interrupts enabled.
+        Physical memory is *not* cleared — cold-boot remanence is part of
+        the TCG threat model's exclusions, and keeping it makes the
+        simulation's "secrets must be erased before exit" tests honest.
+        """
+        self.tpm.reboot()
+        self.dev.clear()
+        for core in self.cpu.cores:
+            core.ring = 0
+            core.interrupts_enabled = True
+            core.debug_access_enabled = True
+            core.paging_enabled = True
+            core.halted = False
+            core.received_init_ipi = False
+        self.trace.emit(self.clock.now(), "cpu", "reboot")

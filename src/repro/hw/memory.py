@@ -1,0 +1,138 @@
+"""Sparse physical memory.
+
+Memory is modelled as a flat physical address space backed by 4-KB pages
+allocated on first touch.  All reads and writes are bounds-checked; access
+*policy* (DEV, segment limits, debug lockout) is enforced by the callers
+that mediate each access path — the CPU, the DMA bridge in
+:class:`~repro.hw.machine.Machine`, and the PAL memory views in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import MemoryFault
+
+#: x86 page size.
+PAGE_SIZE = 4096
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory with sparse page allocation."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE:
+            raise MemoryFault("memory size must be a positive multiple of the page size")
+        self.size_bytes = size_bytes
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- bounds and page helpers ----------------------------------------------
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if length < 0:
+            raise MemoryFault("negative access length")
+        if addr < 0 or addr + length > self.size_bytes:
+            raise MemoryFault(
+                f"access [{addr:#x}, {addr + length:#x}) outside physical memory "
+                f"of {self.size_bytes:#x} bytes"
+            )
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    @staticmethod
+    def page_range(addr: int, length: int) -> Iterator[int]:
+        """Page indices covered by the byte range [addr, addr+length)."""
+        if length <= 0:
+            return iter(())
+        first = addr // PAGE_SIZE
+        last = (addr + length - 1) // PAGE_SIZE
+        return iter(range(first, last + 1))
+
+    # -- raw access (policy-free; mediated by callers) -------------------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes at physical address ``addr``."""
+        self._check_range(addr, length)
+        out = bytearray()
+        remaining = length
+        cursor = addr
+        while remaining:
+            page_index, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                out += b"\x00" * chunk
+            else:
+                out += page[offset : offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at physical address ``addr``."""
+        self._check_range(addr, len(data))
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            page_index, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(len(view), PAGE_SIZE - offset)
+            self._page(page_index)[offset : offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def zeroize(self, addr: int, length: int) -> None:
+        """Overwrite a range with zeros (the SLB Core's cleanup step)."""
+        self._check_range(addr, length)
+        cursor = addr
+        remaining = length
+        while remaining:
+            page_index, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                page[offset : offset + chunk] = b"\x00" * chunk
+            cursor += chunk
+            remaining -= chunk
+
+    def is_zero(self, addr: int, length: int) -> bool:
+        """True if every byte in the range is zero (used by tests to check
+        that secrets were erased)."""
+        return self.read(addr, length) == b"\x00" * length
+
+    # -- introspection ---------------------------------------------------------
+
+    def allocated_pages(self) -> int:
+        """Number of pages that have been touched (for tests/diagnostics)."""
+        return len(self._pages)
+
+    def find_bytes(self, needle: bytes) -> Tuple[int, ...]:
+        """Physical addresses where ``needle`` occurs in *allocated* pages.
+
+        A forensic helper used by tests that play the adversary: after a
+        Flicker session ends, no trace of a PAL secret may remain anywhere
+        in RAM.  Matches that straddle page boundaries are found as well.
+        """
+        if not needle:
+            raise MemoryFault("cannot search for an empty pattern")
+        hits = []
+        overlap = len(needle) - 1
+        for index in sorted(self._pages):
+            base = index * PAGE_SIZE
+            hay = bytes(self._pages[index])
+            nxt = self._pages.get(index + 1)
+            if overlap and nxt is not None:
+                hay += bytes(nxt[:overlap])
+            start = 0
+            while True:
+                pos = hay.find(needle, start)
+                if pos < 0:
+                    break
+                hits.append(base + pos)
+                start = pos + 1
+        return tuple(sorted(set(hits)))

@@ -1,0 +1,45 @@
+"""Simulated untrusted operating system (a Linux 2.6.20 stand-in).
+
+Flicker's host OS is untrusted but cooperative: it loads the
+flicker-module, allocates SLB memory, deschedules the application
+processors, and stores sealed blobs.  The simulation gives the OS exactly
+the surface the paper uses:
+
+* :mod:`repro.osim.kernel` — kernel text / syscall table / loaded modules
+  laid out in simulated physical memory (what the rootkit detector hashes),
+  page tables, a scheduler with CPU-hotplug AP descheduling, and a kernel
+  memory allocator.
+* :mod:`repro.osim.sysfs` — the virtual filesystem through which
+  applications talk to the flicker-module.
+* :mod:`repro.osim.modules` — loadable kernel module framework.
+* :mod:`repro.osim.tpm_driver` — the OS-side TPM driver and the TPM Quote
+  Daemon (``tqd``) built on it (the TrouSerS-stack analogue from §6).
+* :mod:`repro.osim.storage` / :mod:`repro.osim.network` — block devices
+  with DMA transfers, and the network path to remote parties.
+* :mod:`repro.osim.attacker` — the adversary: rootkits, DMA probes,
+  debugger probes, sealed-blob replay.
+"""
+
+from repro.osim.kernel import UntrustedKernel, Process, PageTables
+from repro.osim.sysfs import Sysfs, SysfsEntry
+from repro.osim.modules import KernelModule
+from repro.osim.tpm_driver import OSTPMDriver, TPMQuoteDaemon
+from repro.osim.storage import BlockDevice, FileStore
+from repro.osim.network import NetworkLink, RemoteHost
+from repro.osim.attacker import Attacker
+
+__all__ = [
+    "UntrustedKernel",
+    "Process",
+    "PageTables",
+    "Sysfs",
+    "SysfsEntry",
+    "KernelModule",
+    "OSTPMDriver",
+    "TPMQuoteDaemon",
+    "BlockDevice",
+    "FileStore",
+    "NetworkLink",
+    "RemoteHost",
+    "Attacker",
+]

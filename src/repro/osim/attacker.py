@@ -1,0 +1,103 @@
+"""The adversary toolkit.
+
+Paper §3.1's adversary runs code at ring 0 (so it can patch the kernel,
+invoke SKINIT with its own arguments, and regain control between Flicker
+sessions), controls DMA-capable expansion hardware, and can launch simple
+hardware attacks — but cannot monitor the CPU–memory bus.
+
+These helpers give tests concrete attacks to mount.  Each returns enough
+information to assert that the defence actually engaged (detector hash
+changed, DEV refused the DMA, unseal refused the blob, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import DMAProtectionError, DebugAccessError
+from repro.hw.devices import DMADevice
+from repro.osim.kernel import (
+    KERNEL_TEXT_BASE,
+    KERNEL_TEXT_BYTES,
+    SYSCALL_TABLE_BASE,
+    UntrustedKernel,
+)
+from repro.tpm.structures import SealedBlob
+
+
+class Attacker:
+    """A ring-0 adversary on the untrusted platform."""
+
+    def __init__(self, kernel: UntrustedKernel) -> None:
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self._nic: Optional[DMADevice] = None
+
+    # -- rootkits ------------------------------------------------------------------
+
+    def patch_kernel_text(self, offset: int = 0x1000, payload: bytes = b"\xcc" * 16) -> int:
+        """Overwrite kernel text (an inline-hook style rootkit).  Returns
+        the patched physical address."""
+        if offset + len(payload) > KERNEL_TEXT_BYTES:
+            raise ValueError("patch outside kernel text")
+        addr = KERNEL_TEXT_BASE + offset
+        self.machine.memory.write(addr, payload)
+        return addr
+
+    def hook_syscall(self, syscall_number: int = 59) -> int:
+        """Redirect a syscall-table entry to attacker-controlled memory (a
+        classic syscall-table rootkit).  Returns the hook address."""
+        hook_addr = self.kernel.kalloc(64)
+        self.machine.memory.write(hook_addr, b"\x90" * 64)
+        entry_addr = SYSCALL_TABLE_BASE + 4 * syscall_number
+        self.machine.memory.write(entry_addr, hook_addr.to_bytes(4, "little"))
+        return hook_addr
+
+    def install_malicious_module(self) -> None:
+        """Load a kernel module with attacker text (visible to a detector
+        that measures the loaded-module list)."""
+        from repro.osim.modules import KernelModule
+
+        class _Evil(KernelModule):
+            name = "evil-lkm"
+            text = b"\xde\xad\xbe\xef" * 64
+
+        self.kernel.load_module(_Evil())
+
+    # -- hardware-level probes ----------------------------------------------------------
+
+    def dma_probe(self, addr: int, length: int) -> bytes:
+        """Attempt a DMA read of arbitrary physical memory via a
+        compromised NIC.  Raises :class:`DMAProtectionError` if the DEV
+        protects any touched page."""
+        if self._nic is None:
+            self._nic = self.machine.attach_dma_device("compromised-nic")
+        return self._nic.dma_read(addr, length)
+
+    def debugger_probe(self, addr: int, length: int) -> bytes:
+        """Attempt a hardware-debugger read.  Raises
+        :class:`DebugAccessError` while SKINIT protections are active."""
+        return self.machine.debugger.probe(addr, length)
+
+    def scan_memory_for(self, secret: bytes) -> List[int]:
+        """Ring-0 sweep of all physical memory for a secret value —
+        the attack that motivates the SLB Core's cleanup phase."""
+        return list(self.machine.memory.find_bytes(secret))
+
+    # -- storage-level attacks -------------------------------------------------------------
+
+    @staticmethod
+    def replay_blob(old_blob: SealedBlob) -> SealedBlob:
+        """'Replay' a stale sealed-storage ciphertext: the OS stores blobs,
+        so it can always hand a PAL an old one (paper §4.3.2).  The blob is
+        returned unchanged — the attack is in *which* blob gets presented."""
+        return old_blob
+
+    @staticmethod
+    def tamper_blob(blob: SealedBlob) -> SealedBlob:
+        """Flip a ciphertext bit: TPM Unseal must reject the result."""
+        mutated = bytearray(blob.ciphertext)
+        mutated[len(mutated) // 2] ^= 0x01
+        return SealedBlob(
+            ciphertext=bytes(mutated), mac=blob.mac, bound_pcrs=blob.bound_pcrs
+        )

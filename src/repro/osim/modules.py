@@ -1,0 +1,68 @@
+"""Loadable kernel module framework.
+
+The flicker-module is "a Linux kernel module we have developed" (paper
+§4.1); loading it registers its sysfs entries and adds its text to the
+kernel's loaded-module list — which means it is *measured* by the rootkit
+detector like any other module, and a tampered flicker-module is
+detectable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ModuleLoadError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.osim.kernel import UntrustedKernel
+
+
+class KernelModule:
+    """Base class for loadable kernel modules.
+
+    Subclasses override :meth:`on_load` / :meth:`on_unload` and provide
+    ``name`` and ``text`` (the module's code bytes, which become part of
+    the kernel's measured state).
+    """
+
+    #: Module name as it appears in the loaded-module list.
+    name: str = "module"
+
+    #: The module's text bytes (measured by integrity checks).
+    text: bytes = b""
+
+    def __init__(self) -> None:
+        self.kernel: "UntrustedKernel" = None  # set on load
+        self.text_addr: int = 0
+
+    def on_load(self, kernel: "UntrustedKernel") -> None:
+        """Module initialisation hook; runs with the module already mapped."""
+
+    def on_unload(self) -> None:
+        """Module teardown hook."""
+
+    def loaded(self) -> bool:
+        """Whether this instance is currently loaded into a kernel."""
+        return self.kernel is not None
+
+
+def load_module(kernel: "UntrustedKernel", module: KernelModule) -> None:
+    """Map a module's text into kernel memory and run its init."""
+    if module.loaded():
+        raise ModuleLoadError(f"module {module.name!r} is already loaded")
+    if not module.text:
+        raise ModuleLoadError(f"module {module.name!r} has no text")
+    module.text_addr = kernel.kalloc(len(module.text))
+    kernel.machine.memory.write(module.text_addr, module.text)
+    kernel.register_module(module)
+    module.kernel = kernel
+    module.on_load(kernel)
+
+
+def unload_module(module: KernelModule) -> None:
+    """Run a module's teardown and remove it from the kernel."""
+    if not module.loaded():
+        raise ModuleLoadError(f"module {module.name!r} is not loaded")
+    module.on_unload()
+    module.kernel.unregister_module(module)
+    module.kernel = None

@@ -1,0 +1,80 @@
+"""sysfs: the virtual filesystem exposing kernel state to applications.
+
+The flicker-module publishes four entries — ``control``, ``inputs``,
+``outputs``, and ``slb`` (paper §4.2) — and applications drive a Flicker
+session entirely through ordinary reads and writes on them.  This module
+models just enough of sysfs: a tree of named entries, each with optional
+read and write handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import SysfsError
+
+ReadHandler = Callable[[], bytes]
+WriteHandler = Callable[[bytes], None]
+
+
+class SysfsEntry:
+    """One sysfs file with read/write handlers."""
+
+    def __init__(
+        self,
+        name: str,
+        read_handler: Optional[ReadHandler] = None,
+        write_handler: Optional[WriteHandler] = None,
+    ) -> None:
+        self.name = name
+        self._read_handler = read_handler
+        self._write_handler = write_handler
+
+    def read(self) -> bytes:
+        """Invoke the read handler."""
+        if self._read_handler is None:
+            raise SysfsError(f"sysfs entry {self.name!r} is not readable")
+        return self._read_handler()
+
+    def write(self, data: bytes) -> None:
+        """Invoke the write handler."""
+        if self._write_handler is None:
+            raise SysfsError(f"sysfs entry {self.name!r} is not writable")
+        self._write_handler(data)
+
+
+class Sysfs:
+    """A flat-namespace sysfs (paths like ``flicker/control``)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SysfsEntry] = {}
+
+    def register(self, path: str, entry: SysfsEntry) -> None:
+        """Publish an entry at ``path``."""
+        if path in self._entries:
+            raise SysfsError(f"sysfs path {path!r} already registered")
+        self._entries[path] = entry
+
+    def unregister(self, path: str) -> None:
+        """Remove an entry (module unload)."""
+        if path not in self._entries:
+            raise SysfsError(f"sysfs path {path!r} not registered")
+        del self._entries[path]
+
+    def read(self, path: str) -> bytes:
+        """Read the entry at ``path``."""
+        return self._entry(path).read()
+
+    def write(self, path: str, data: bytes) -> None:
+        """Write the entry at ``path``."""
+        self._entry(path).write(data)
+
+    def exists(self, path: str) -> bool:
+        """Whether an entry is registered at ``path``."""
+        return path in self._entries
+
+    def _entry(self, path: str) -> SysfsEntry:
+        try:
+            return self._entries[path]
+        except KeyError:
+            raise SysfsError(f"no sysfs entry at {path!r}") from None

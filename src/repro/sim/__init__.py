@@ -1,0 +1,38 @@
+"""Simulation substrate: virtual time, timing profiles, deterministic RNG,
+and event tracing.
+
+The paper measures wall-clock latencies on an HP dc5750 (AMD Athlon64 X2
+4200+, Broadcom BCM0102 TPM) using RDTSC.  This reproduction replaces the
+testbed with a *virtual clock*: every simulated operation (a TPM command, an
+SKINIT, a block of application work) advances the clock by an amount taken
+from a :class:`~repro.sim.timing.TimingProfile`.  The profiles are calibrated
+from the paper's own microbenchmarks, so the benchmark harness reproduces the
+paper's tables by reading virtual time rather than host wall time.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRNG
+from repro.sim.timing import (
+    BROADCOM_BCM0102,
+    INFINEON_1_2,
+    FUTURE_HW_TPM,
+    HOST_HP_DC5750,
+    TimingProfile,
+    TPMTimings,
+    HostTimings,
+)
+from repro.sim.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "VirtualClock",
+    "DeterministicRNG",
+    "TimingProfile",
+    "TPMTimings",
+    "HostTimings",
+    "BROADCOM_BCM0102",
+    "INFINEON_1_2",
+    "FUTURE_HW_TPM",
+    "HOST_HP_DC5750",
+    "EventTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,107 @@
+"""Deterministic random number generation for the simulation.
+
+The real platform draws entropy from the TPM's hardware RNG.  The simulation
+needs reproducible runs, so all randomness flows through a
+:class:`DeterministicRNG` seeded explicitly.  The generator is a simple
+counter-mode construction over SHA-512 (implemented by our own crypto
+substrate would create a circular import, so this module uses a small
+self-contained xorshift/SplitMix64 core — statistical quality is more than
+adequate for simulation and for generating RSA candidate primes, and the
+stream is stable across Python versions, unlike :mod:`random`'s internals
+would be if we depended on pickled state).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicRNG:
+    """SplitMix64-based deterministic byte/integer generator.
+
+    SplitMix64 passes BigCrush and has a full 2^64 period per seed; it is
+    the standard seeding generator for xoshiro-family PRNGs.  We use it
+    directly because the simulation only needs statistical (not
+    cryptographic) quality — the *simulated* TPM presents this stream as its
+    hardware RNG.
+    """
+
+    def __init__(self, seed: int = 0xF11C4E12_2008) -> None:
+        self._state = seed & _MASK64
+
+    def _next64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    # -- public API ----------------------------------------------------------
+
+    def bytes(self, n: int) -> bytes:
+        """Return ``n`` pseudo-random bytes."""
+        if n < 0:
+            raise ValueError("cannot generate a negative number of bytes")
+        out = bytearray()
+        while len(out) < n:
+            out += self._next64().to_bytes(8, "big")
+        return bytes(out[:n])
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        if lo > hi:
+            raise ValueError("empty range")
+        span = hi - lo + 1
+        # Rejection sampling to avoid modulo bias.
+        nbits = span.bit_length()
+        nbytes = (nbits + 7) // 8
+        while True:
+            candidate = int.from_bytes(self.bytes(nbytes), "big")
+            candidate &= (1 << nbits) - 1
+            if candidate < span:
+                return lo + candidate
+
+    def randbits(self, k: int) -> int:
+        """Uniform integer with exactly ``k`` random bits (top bit may be 0)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        nbytes = (k + 7) // 8
+        value = int.from_bytes(self.bytes(nbytes), "big")
+        return value >> (nbytes * 8 - k)
+
+    def odd_integer(self, bits: int) -> int:
+        """Random odd integer of exactly ``bits`` bits (both end bits set).
+
+        Used for RSA prime candidates: the top bit guarantees the product of
+        two such primes has the full modulus width, the bottom bit oddness.
+        """
+        if bits < 2:
+            raise ValueError("need at least 2 bits")
+        value = self.randbits(bits)
+        value |= (1 << (bits - 1)) | 1
+        return value
+
+    def shuffle(self, items: List) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Approximately normal variate via the Irwin-Hall sum of 12
+        uniforms (exact enough for latency jitter modelling)."""
+        total = sum(self._next64() / float(_MASK64) for _ in range(12))
+        return mu + sigma * (total - 6.0)
+
+    def fork(self, label: str) -> "DeterministicRNG":
+        """Derive an independent child generator from this one.
+
+        Components that need their own stream (e.g. each TPM) fork the
+        platform RNG so that adding a consumer does not perturb others.
+        """
+        h = 0xCBF29CE484222325  # FNV-1a 64-bit
+        for b in label.encode("utf-8"):
+            h = ((h ^ b) * 0x100000001B3) & _MASK64
+        return DeterministicRNG((self._next64() ^ h) & _MASK64)

@@ -1,0 +1,98 @@
+"""Event tracing for simulated platform activity.
+
+Every security-relevant action (SKINIT, PCR extends, DMA attempts, sealed
+storage operations, OS suspend/resume) is appended to an
+:class:`EventTrace`.  Tests use the trace to assert ordering properties —
+e.g. that the SLB Core extended the closing sentinel into PCR 17 *before*
+the OS resumed — and the benchmark harness uses it to print the Figure 2
+timeline of a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event on the platform.
+
+    Attributes
+    ----------
+    time_ms:
+        Virtual time at which the event occurred.
+    source:
+        Component that emitted the event (``"cpu"``, ``"tpm"``, ``"os"``,
+        ``"flicker"``, ``"dev"``...).
+    kind:
+        Machine-readable event type (``"skinit"``, ``"pcr_extend"``...).
+    detail:
+        Free-form structured payload.
+    """
+
+    time_ms: float
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time_ms:10.3f} ms] {self.source}/{self.kind} {items}"
+
+
+class EventTrace:
+    """Append-only log of :class:`TraceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def emit(self, time_ms: float, source: str, kind: str, **detail: Any) -> TraceEvent:
+        """Record and return a new event."""
+        event = TraceEvent(time_ms=time_ms, source=source, kind=kind, detail=dict(detail))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events filtered by kind and/or source and/or arbitrary predicate."""
+        out = self._events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if source is not None:
+            out = [e for e in out if e.source == source]
+        if predicate is not None:
+            out = [e for e in out if predicate(e)]
+        return list(out)
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceEvent]:
+        """Most recent event (optionally of a given kind), or ``None``."""
+        matches = self.events(kind=kind)
+        return matches[-1] if matches else None
+
+    def ordered_before(self, first_kind: str, second_kind: str) -> bool:
+        """True if the *last* event of ``first_kind`` precedes the *first*
+        event of ``second_kind``.  Used to assert protocol ordering."""
+        firsts = self.events(kind=first_kind)
+        seconds = self.events(kind=second_kind)
+        if not firsts or not seconds:
+            return False
+        return self._events.index(firsts[-1]) < self._events.index(seconds[0])
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def format_timeline(self) -> str:
+        """Human-readable rendering of the whole trace."""
+        return "\n".join(str(e) for e in self._events)

@@ -1,0 +1,7 @@
+"""Command-line tools for the Flicker reproduction.
+
+* ``python -m repro.tools.report`` — regenerate the headline experiment
+  numbers (a condensed version of the benchmark harness) as one report.
+* ``python -m repro.tools.timeline`` — run a hello-world session and dump
+  the full platform trace, for exploring how a session unfolds.
+"""

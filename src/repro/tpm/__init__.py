@@ -1,0 +1,49 @@
+"""Simulated TPM v1.2.
+
+Implements the slice of the TPM v1.2 command set that Flicker uses
+(paper §2 and Figure 6's "TPM Driver" / "TPM Utilities" modules):
+
+* PCRs — 24 registers; static PCRs 0–16 reset only at reboot, dynamic PCRs
+  17–23 reset to −1 at reboot and to 0 by the CPU's SKINIT-issued hardware
+  command (:mod:`repro.tpm.pcr`).
+* Quote — AIK-signed attestation over selected PCRs and a challenge nonce
+  (:mod:`repro.tpm.structures`).
+* Seal/Unseal — ciphertexts bound to PCR values at release time.
+* GetRandom, GetCapability, PCR Read/Extend.
+* OIAP/OSAP authorization sessions (:mod:`repro.tpm.sessions`).
+* Non-volatile storage with PCR-gated access and monotonic counters
+  (:mod:`repro.tpm.nvram`), used for sealed-storage replay protection.
+* The key hierarchy — EK, SRK, AIK — with a Privacy CA that certifies AIKs
+  (:mod:`repro.tpm.privacy_ca`).
+
+Latency of every command is charged to the platform's virtual clock using
+the active :class:`~repro.sim.timing.TPMTimings` profile, which is how the
+paper's TPM-dominated measurements are reproduced.
+"""
+
+from repro.tpm.pcr import PCR_COUNT, DYNAMIC_PCRS, PCRBank, PCR_DYNAMIC_BOOT_VALUE
+from repro.tpm.structures import PCRComposite, Quote, SealedBlob
+from repro.tpm.sessions import AuthSession, WELL_KNOWN_AUTH
+from repro.tpm.nvram import NVSpace, MonotonicCounter
+from repro.tpm.tpm import TPM, TPMInterface, LOCALITY_CPU, LOCALITY_OS
+from repro.tpm.privacy_ca import PrivacyCA, AIKCertificate
+
+__all__ = [
+    "PCR_COUNT",
+    "DYNAMIC_PCRS",
+    "PCRBank",
+    "PCR_DYNAMIC_BOOT_VALUE",
+    "PCRComposite",
+    "Quote",
+    "SealedBlob",
+    "AuthSession",
+    "WELL_KNOWN_AUTH",
+    "NVSpace",
+    "MonotonicCounter",
+    "TPM",
+    "TPMInterface",
+    "LOCALITY_CPU",
+    "LOCALITY_OS",
+    "PrivacyCA",
+    "AIKCertificate",
+]

@@ -1,0 +1,87 @@
+"""TPM non-volatile storage and monotonic counters.
+
+Paper §4.3.2 sketches replay protection for sealed storage using "the
+Monotonic Counter and Non-volatile Storage facilities of v1.2 TPMs": a
+counter value kept *inside* the TPM, with PCR-gated access so only the
+intended PAL can read or advance it.  This module provides both facilities:
+
+* :class:`NVSpace` — a defined region of TPM NV RAM whose read and/or write
+  may each be restricted to a set of required PCR values.
+* :class:`MonotonicCounter` — a strictly increasing counter (TPM v1.2
+  exposes these as a special command set; we model them directly and also
+  build them over NV spaces in :mod:`repro.core.sealed_storage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import TPMNVError, TPMPolicyError
+
+
+@dataclass
+class NVSpace:
+    """One defined NV storage space.
+
+    ``read_pcr_policy`` / ``write_pcr_policy`` map PCR index → required
+    value; ``None`` means unrestricted.  Access checks are evaluated by the
+    TPM against the live PCR bank at command time.
+    """
+
+    index: int
+    size: int
+    read_pcr_policy: Optional[Dict[int, bytes]] = None
+    write_pcr_policy: Optional[Dict[int, bytes]] = None
+    data: bytes = b""
+    written: bool = field(default=False)
+
+    def check_size(self, payload: bytes) -> None:
+        """Reject writes larger than the defined space."""
+        if len(payload) > self.size:
+            raise TPMNVError(
+                f"write of {len(payload)} bytes exceeds NV space {self.index:#x} "
+                f"size {self.size}"
+            )
+
+
+@dataclass
+class MonotonicCounter:
+    """A strictly increasing 32-bit counter.
+
+    TPM v1.2 counters may only be incremented once per "throttling period";
+    the simulation does not model throttling, but does enforce
+    monotonicity and 32-bit wrap refusal.
+    """
+
+    counter_id: int
+    label: bytes
+    value: int = 0
+
+    def increment(self) -> int:
+        """Advance the counter; returns the new value."""
+        if self.value >= 0xFFFFFFFF:
+            raise TPMNVError("monotonic counter exhausted")
+        self.value += 1
+        return self.value
+
+
+def check_pcr_policy(
+    policy: Optional[Dict[int, bytes]],
+    pcr_read,
+    what: str,
+) -> None:
+    """Evaluate a PCR policy against live PCR values.
+
+    ``pcr_read`` is a callable mapping index → current value.  Raises
+    :class:`TPMPolicyError` naming the first mismatching register.
+    """
+    if not policy:
+        return
+    for index, required in sorted(policy.items()):
+        current = pcr_read(index)
+        if current != required:
+            raise TPMPolicyError(
+                f"{what} denied: PCR {index} is {current.hex()[:16]}…, "
+                f"policy requires {required.hex()[:16]}…"
+            )

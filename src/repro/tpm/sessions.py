@@ -1,0 +1,84 @@
+"""OIAP/OSAP authorization sessions.
+
+TPM v1.2 commands that use an authorized entity (Seal/Unseal against the
+SRK, NV space definition against the owner) must prove knowledge of the
+entity's 20-byte authorization secret without sending it: the caller HMACs
+a digest of the command parameters with the secret, keyed into a rolling
+nonce exchange.  The paper's TPM Utilities module implements "the OIAP and
+OSAP sessions necessary to authorize Seal and Unseal" (§5.1.2); this module
+is the equivalent.
+
+The simulation implements the protocol honestly (nonces, HMAC proofs,
+rolling nonce update, OSAP shared secrets) in a simplified framing: one
+proof per command, no continueAuthSession flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hmac import constant_time_equal, hmac_sha1
+from repro.errors import TPMAuthError
+
+#: The TCG "well-known secret": 20 zero bytes, the default SRK auth.
+WELL_KNOWN_AUTH = b"\x00" * 20
+
+
+@dataclass
+class AuthSession:
+    """One authorization session between a caller and the TPM.
+
+    Attributes
+    ----------
+    session_type:
+        ``"OIAP"`` (object-independent; proves the entity secret directly)
+        or ``"OSAP"`` (object-specific; proofs use a derived shared secret).
+    nonce_even:
+        The TPM's current rolling nonce.
+    shared_secret:
+        For OSAP: HMAC(entity_auth, nonce_even_osap ‖ nonce_odd_osap).
+        For OIAP: unused (proofs use the entity secret itself).
+    """
+
+    session_id: int
+    session_type: str
+    nonce_even: bytes
+    shared_secret: bytes = b""
+    closed: bool = field(default=False)
+
+    def proof_key(self, entity_auth: bytes) -> bytes:
+        """The HMAC key a caller must use for this session."""
+        if self.session_type == "OSAP":
+            return self.shared_secret
+        return entity_auth
+
+    def compute_proof(self, entity_auth: bytes, command_digest: bytes, nonce_odd: bytes) -> bytes:
+        """Caller side: the authorization HMAC for one command."""
+        key = self.proof_key(entity_auth)
+        return hmac_sha1(key, command_digest + self.nonce_even + nonce_odd)
+
+    def verify_proof(
+        self,
+        entity_auth: bytes,
+        command_digest: bytes,
+        nonce_odd: bytes,
+        proof: bytes,
+    ) -> None:
+        """TPM side: check a caller's proof and roll the even nonce.
+
+        Raises :class:`TPMAuthError` on mismatch; on success the session's
+        ``nonce_even`` advances so proofs cannot be replayed.
+        """
+        if self.closed:
+            raise TPMAuthError("authorization session is closed")
+        expected = self.compute_proof(entity_auth, command_digest, nonce_odd)
+        if not constant_time_equal(expected, proof):
+            self.closed = True  # TCG behaviour: a failed auth kills the session
+            raise TPMAuthError("authorization failed (bad HMAC proof)")
+        # Roll the nonce so the same proof cannot authorize a second command.
+        self.nonce_even = hmac_sha1(self.nonce_even, nonce_odd)
+
+    @staticmethod
+    def osap_shared_secret(entity_auth: bytes, nonce_even_osap: bytes, nonce_odd_osap: bytes) -> bytes:
+        """Derive the OSAP shared secret for an entity."""
+        return hmac_sha1(entity_auth, nonce_even_osap + nonce_odd_osap)

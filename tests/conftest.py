@@ -1,0 +1,34 @@
+"""Shared fixtures for the Flicker reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FlickerPlatform
+from repro.hw import Machine
+from repro.osim import UntrustedKernel
+from repro.sim import DeterministicRNG
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    """A deterministic RNG with a fixed seed."""
+    return DeterministicRNG(0x7E57)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A bare simulated machine (no OS)."""
+    return Machine(seed=1234)
+
+
+@pytest.fixture
+def kernel(machine: Machine) -> UntrustedKernel:
+    """A booted untrusted kernel on ``machine``."""
+    return UntrustedKernel(machine)
+
+
+@pytest.fixture
+def platform() -> FlickerPlatform:
+    """A fully assembled Flicker deployment."""
+    return FlickerPlatform(seed=1234)

@@ -1,0 +1,187 @@
+"""PAL-extraction tool tests (paper §5.2)."""
+
+import textwrap
+
+import pytest
+
+from repro.core.automation import extract_pal_source
+from repro.errors import ExtractionError
+
+PROGRAM = textwrap.dedent(
+    '''
+    import os
+
+    MODULUS_BITS = 1024
+    BANNER = "app v1"
+
+    def helper_a(x):
+        return x * 2
+
+    def helper_b(x):
+        return helper_a(x) + MODULUS_BITS
+
+    def unrelated():
+        return os.getpid()
+
+    def rsa_keygen():
+        seed = helper_b(7)
+        return seed
+
+    def noisy_target():
+        print(BANNER)
+        data = rsa_keygen()
+        return data
+
+    def filesystem_target():
+        with open("/etc/passwd") as f:
+            return f.read()
+    '''
+)
+
+
+class TestClosureComputation:
+    def test_target_and_dependencies_extracted(self):
+        result = extract_pal_source(PROGRAM, "rsa_keygen")
+        assert set(result.included) == {"rsa_keygen", "helper_b", "helper_a"}
+
+    def test_unrelated_functions_excluded(self):
+        result = extract_pal_source(PROGRAM, "rsa_keygen")
+        assert "unrelated" not in result.included
+        assert "unrelated" not in result.standalone_source
+
+    def test_constants_carried_along(self):
+        result = extract_pal_source(PROGRAM, "rsa_keygen")
+        assert "MODULUS_BITS" in result.constants
+        assert "MODULUS_BITS = 1024" in result.standalone_source
+
+    def test_clean_target_has_no_disallowed(self):
+        result = extract_pal_source(PROGRAM, "rsa_keygen")
+        assert result.clean
+        assert result.disallowed == {}
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ExtractionError):
+            extract_pal_source(PROGRAM, "does_not_exist")
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(ExtractionError):
+            extract_pal_source("def broken(:", "broken")
+
+
+class TestDisallowedDependencies:
+    def test_print_flagged_for_elimination(self):
+        result = extract_pal_source(PROGRAM, "noisy_target")
+        assert "print" in result.disallowed
+        assert "eliminate" in result.disallowed["print"]
+        assert not result.clean
+
+    def test_open_flagged(self):
+        result = extract_pal_source(PROGRAM, "filesystem_target")
+        assert "open" in result.disallowed
+
+    def test_malloc_suggests_memory_mgmt(self):
+        program = "def alloc_heavy():\n    return malloc(64)\n"
+        result = extract_pal_source(program, "alloc_heavy")
+        assert "memory_mgmt" in result.disallowed["malloc"]
+
+    def test_unresolved_call_reported(self):
+        program = "def caller():\n    return mystery_function(1)\n"
+        result = extract_pal_source(program, "caller")
+        assert "mystery_function" in result.disallowed
+
+    def test_noisy_target_still_includes_closure(self):
+        """Extraction proceeds despite disallowed names so the programmer
+        can iterate (§5.2: 'the programmer can simply eliminate the call')."""
+        result = extract_pal_source(PROGRAM, "noisy_target")
+        assert "rsa_keygen" in result.included
+        assert "helper_a" in result.included
+
+
+class TestStandaloneProgram:
+    def test_standalone_source_is_executable(self):
+        result = extract_pal_source(PROGRAM, "rsa_keygen")
+        namespace = {}
+        exec(result.standalone_source, namespace)  # noqa: S102 - test fixture
+        assert namespace["PAL_ENTRY"]() == 1038  # helper_b(7) = 14 + 1024
+
+    def test_dependencies_defined_before_use(self):
+        result = extract_pal_source(PROGRAM, "rsa_keygen")
+        src = result.standalone_source
+        assert src.index("def helper_a") < src.index("def helper_b")
+        assert src.index("def helper_b") < src.index("def rsa_keygen")
+
+    def test_entry_alias_points_at_target(self):
+        result = extract_pal_source(PROGRAM, "rsa_keygen")
+        assert result.standalone_source.rstrip().endswith("PAL_ENTRY = rsa_keygen")
+
+    def test_recursive_function_extracts(self):
+        program = textwrap.dedent(
+            """
+            def fact(n):
+                return 1 if n <= 1 else n * fact(n - 1)
+            """
+        )
+        result = extract_pal_source(program, "fact")
+        assert result.clean
+        namespace = {}
+        exec(result.standalone_source, namespace)  # noqa: S102
+        assert namespace["PAL_ENTRY"](5) == 120
+
+    def test_mutually_recursive_functions(self):
+        program = textwrap.dedent(
+            """
+            def is_even(n):
+                return True if n == 0 else is_odd(n - 1)
+
+            def is_odd(n):
+                return False if n == 0 else is_even(n - 1)
+            """
+        )
+        result = extract_pal_source(program, "is_even")
+        assert set(result.included) == {"is_even", "is_odd"}
+        namespace = {}
+        exec(result.standalone_source, namespace)  # noqa: S102
+        assert namespace["PAL_ENTRY"](10) is True
+
+    def test_module_dependencies_flagged(self):
+        program = textwrap.dedent(
+            """
+            import socket
+            import os as operating_system
+
+            def networked():
+                conn = socket.create_connection(("host", 80))
+                pid = operating_system.getpid()
+                return conn, pid
+            """
+        )
+        result = extract_pal_source(program, "networked")
+        assert "socket" in result.disallowed
+        assert "operating_system" in result.disallowed
+        assert "socket.create_connection" in result.disallowed["socket"]
+
+    def test_attribute_calls_on_locals_not_flagged(self):
+        program = textwrap.dedent(
+            """
+            def builder(parts):
+                out = []
+                for part in parts:
+                    out.append(part)
+                return out
+            """
+        )
+        result = extract_pal_source(program, "builder")
+        assert result.clean
+
+    def test_local_variables_not_flagged(self):
+        program = textwrap.dedent(
+            """
+            def compute(values):
+                total = 0
+                for item in values:
+                    total += item
+                return total
+            """
+        )
+        result = extract_pal_source(program, "compute")
+        assert result.clean

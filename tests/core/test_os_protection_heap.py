@@ -1,0 +1,234 @@
+"""OS-Protection module and PAL heap tests (paper §5.1.2)."""
+
+import pytest
+
+from repro.core import PAL
+from repro.core.layout import SLBLayout
+from repro.core.modules.memory_mgmt import PALHeap
+from repro.core.modules.os_protection import restricted_view, unrestricted_view
+from repro.errors import PALRuntimeError, SegmentationFault
+from repro.hw.memory import PhysicalMemory
+from repro.osim.kernel import KERNEL_TEXT_BASE
+
+
+class NosyPAL(PAL):
+    """Tries to read kernel memory from inside the session."""
+
+    name = "nosy"
+    modules = ()  # overridden per test via subclasses below
+
+    def run(self, ctx):
+        data = ctx.mem.read(KERNEL_TEXT_BASE, 16)
+        ctx.write_output(data)
+
+
+class ConfinedNosyPAL(NosyPAL):
+    name = "confined-nosy"
+    modules = ("os_protection",)
+
+
+class ClobberPAL(PAL):
+    """Tries to overwrite kernel text."""
+
+    name = "clobber"
+    modules = ()
+
+    def run(self, ctx):
+        ctx.mem.write(KERNEL_TEXT_BASE, b"\x00" * 64)
+        ctx.write_output(b"clobbered")
+
+
+class ConfinedClobberPAL(ClobberPAL):
+    name = "confined-clobber"
+    modules = ("os_protection",)
+
+
+class WindowedPAL(PAL):
+    """Works entirely within its allowed window (must succeed confined)."""
+
+    name = "windowed"
+    modules = ("os_protection",)
+
+    def run(self, ctx):
+        ctx.mem.write(ctx.layout.stack_base, b"stack-data")
+        assert ctx.mem.read(ctx.layout.stack_base, 10) == b"stack-data"
+        ctx.write_output(b"within-window")
+
+
+class TestOSProtectionModule:
+    def test_default_pal_reads_all_memory(self, platform):
+        """§4.2: by default a PAL can access all physical memory — this is
+        what the rootkit detector relies on."""
+        result = platform.execute_pal(NosyPAL())
+        expected = platform.machine.memory.read(KERNEL_TEXT_BASE, 16)
+        assert result.outputs == expected
+
+    def test_confined_pal_cannot_read_kernel(self, platform):
+        with pytest.raises(PALRuntimeError, match="SegmentationFault|exceeds limit"):
+            platform.execute_pal(ConfinedNosyPAL())
+
+    def test_default_pal_can_clobber_kernel(self, platform):
+        before = platform.machine.memory.read(KERNEL_TEXT_BASE, 64)
+        platform.execute_pal(ClobberPAL())
+        after = platform.machine.memory.read(KERNEL_TEXT_BASE, 64)
+        assert after != before
+
+    def test_confined_pal_cannot_clobber_kernel(self, platform):
+        before = platform.machine.memory.read(KERNEL_TEXT_BASE, 64)
+        with pytest.raises(PALRuntimeError):
+            platform.execute_pal(ConfinedClobberPAL())
+        assert platform.machine.memory.read(KERNEL_TEXT_BASE, 64) == before
+
+    def test_confined_pal_runs_in_ring3(self, platform):
+        ring_seen = {}
+
+        class RingProbePAL(PAL):
+            name = "ring-probe"
+            modules = ("os_protection",)
+
+            def run(self, ctx):
+                ring_seen["ring"] = platform.machine.cpu.bsp.ring
+                ctx.write_output(b"x")
+
+        platform.execute_pal(RingProbePAL())
+        assert ring_seen["ring"] == 3
+        assert platform.machine.cpu.bsp.ring == 0  # back in ring 0 after
+
+    def test_unconfined_pal_runs_in_ring0(self, platform):
+        ring_seen = {}
+
+        class Ring0ProbePAL(PAL):
+            name = "ring0-probe"
+            modules = ()
+
+            def run(self, ctx):
+                ring_seen["ring"] = platform.machine.cpu.bsp.ring
+                ctx.write_output(b"x")
+
+        platform.execute_pal(Ring0ProbePAL())
+        assert ring_seen["ring"] == 0
+
+    def test_confined_pal_window_operations_work(self, platform):
+        result = platform.execute_pal(WindowedPAL())
+        assert result.outputs == b"within-window"
+
+    def test_view_factories(self):
+        memory = PhysicalMemory(1 << 20)
+        layout = SLBLayout(base=0x10000)
+        unrestricted = unrestricted_view(memory)
+        assert unrestricted.ring == 0
+        unrestricted.write(0x5000, b"anywhere")
+        restricted = restricted_view(memory, layout)
+        assert restricted.ring == 3
+        restricted.write(layout.base + 100, b"inside")
+        with pytest.raises(SegmentationFault):
+            restricted.read(0x5000, 8)
+        with pytest.raises(SegmentationFault):
+            restricted.read(layout.saved_state_page, 8)  # saved state off-limits
+
+
+class TestPALHeap:
+    @pytest.fixture
+    def heap(self):
+        memory = PhysicalMemory(1 << 20)
+        return PALHeap(memory, base=0x10000, size=16 * 1024), memory
+
+    def test_malloc_returns_usable_memory(self, heap):
+        allocator, memory = heap
+        addr = allocator.malloc(100)
+        memory.write(addr, b"d" * 100)
+        assert memory.read(addr, 100) == b"d" * 100
+
+    def test_allocations_do_not_overlap(self, heap):
+        allocator, memory = heap
+        addrs = [allocator.malloc(64) for _ in range(10)]
+        for addr in addrs:
+            memory.write(addr, addr.to_bytes(8, "big") * 8)
+        for addr in addrs:
+            assert memory.read(addr, 8) == addr.to_bytes(8, "big")
+
+    def test_free_and_reuse(self, heap):
+        allocator, _ = heap
+        a = allocator.malloc(256)
+        allocator.free(a)
+        b = allocator.malloc(256)
+        assert b == a  # first fit reuses the freed block
+
+    def test_double_free_rejected(self, heap):
+        allocator, _ = heap
+        addr = allocator.malloc(32)
+        allocator.free(addr)
+        with pytest.raises(PALRuntimeError, match="double free"):
+            allocator.free(addr)
+
+    def test_free_of_non_allocation_rejected(self, heap):
+        allocator, _ = heap
+        with pytest.raises(PALRuntimeError):
+            allocator.free(0x10004)
+
+    def test_exhaustion(self, heap):
+        allocator, _ = heap
+        with pytest.raises(PALRuntimeError, match="exhausted"):
+            allocator.malloc(32 * 1024)
+
+    def test_coalescing_allows_large_realloc(self, heap):
+        allocator, _ = heap
+        blocks = [allocator.malloc(1024) for _ in range(8)]
+        for addr in blocks:
+            allocator.free(addr)
+        big = allocator.malloc(8 * 1024)  # only possible after coalescing
+        assert big == blocks[0]
+
+    def test_realloc_grows_and_preserves(self, heap):
+        allocator, memory = heap
+        addr = allocator.malloc(16)
+        memory.write(addr, b"0123456789abcdef")
+        new_addr = allocator.realloc(addr, 400)
+        assert memory.read(new_addr, 16) == b"0123456789abcdef"
+
+    def test_realloc_shrink_is_noop(self, heap):
+        allocator, _ = heap
+        addr = allocator.malloc(100)
+        assert allocator.realloc(addr, 50) == addr
+
+    def test_malloc_invalid_size(self, heap):
+        allocator, _ = heap
+        with pytest.raises(PALRuntimeError):
+            allocator.malloc(0)
+
+    def test_free_bytes_accounting(self, heap):
+        allocator, _ = heap
+        start = allocator.free_bytes()
+        addr = allocator.malloc(1000)
+        assert allocator.free_bytes() < start
+        allocator.free(addr)
+        assert allocator.free_bytes() == start
+        assert allocator.allocated_blocks() == 0
+
+    def test_heap_inside_session(self, platform):
+        class HeapPAL(PAL):
+            name = "heap-user"
+            modules = ("memory_mgmt",)
+
+            def run(self, ctx):
+                a = ctx.heap.malloc(128)
+                ctx.mem.write(a, b"heap!" * 4)
+                data = ctx.mem.read(a, 20)
+                ctx.heap.free(a)
+                ctx.write_output(data)
+
+        result = platform.execute_pal(HeapPAL())
+        assert result.outputs == b"heap!" * 4
+
+    def test_heap_contents_erased_after_session(self, platform):
+        class LeakyHeapPAL(PAL):
+            name = "leaky-heap"
+            modules = ("memory_mgmt",)
+
+            def run(self, ctx):
+                a = ctx.heap.malloc(64)
+                ctx.mem.write(a, b"HEAP-RESIDENT-SECRET")
+                ctx.write_output(b"ok")  # never frees: cleanup must still erase
+
+        platform.execute_pal(LeakyHeapPAL())
+        assert platform.machine.memory.find_bytes(b"HEAP-RESIDENT-SECRET") == ()

@@ -1,0 +1,161 @@
+"""Secure-channel protocol tests (paper §4.4.2)."""
+
+import pytest
+
+from repro.core import PAL
+from repro.core.modules.secure_channel import (
+    decode_channel_output,
+    encode_channel_output,
+)
+from repro.core.secure_channel import SecureChannelClient
+from repro.errors import PALRuntimeError, SecureChannelError
+
+NONCE = b"\x2a" * 20
+
+
+class ChannelPAL(PAL):
+    """establish on command 0; decrypt one message on command 1."""
+
+    name = "channel"
+    modules = ("secure_channel",)
+
+    def run(self, ctx):
+        if ctx.inputs[0] == 0:
+            ctx.write_output(ctx.secure_channel.establish())
+        else:
+            sdata_len = int.from_bytes(ctx.inputs[1:5], "big")
+            sdata = ctx.inputs[5 : 5 + sdata_len]
+            ciphertext = ctx.inputs[5 + sdata_len :]
+            ctx.write_output(ctx.secure_channel.open(sdata, ciphertext))
+
+
+def establish(platform, pal):
+    session = platform.execute_pal(pal, inputs=b"\x00", nonce=NONCE)
+    attestation = platform.attest(NONCE, session)
+    client = SecureChannelClient(platform.verifier(), platform.machine.rng.fork("client"))
+    channel = client.accept(attestation, session.image, NONCE)
+    return client, channel
+
+
+class TestEstablish:
+    def test_client_accepts_valid_attestation(self, platform):
+        client, channel = establish(platform, ChannelPAL())
+        assert channel.pal_public.n > 0
+
+    def test_end_to_end_message(self, platform):
+        pal = ChannelPAL()
+        client, channel = establish(platform, pal)
+        ciphertext = client.encrypt(channel, b"to-the-pal")
+        sdata = channel.sdata.encode()
+        inputs = b"\x01" + len(sdata).to_bytes(4, "big") + sdata + ciphertext
+        result = platform.execute_pal(pal, inputs=inputs)
+        assert result.outputs == b"to-the-pal"
+
+    def test_client_rejects_wrong_pal(self, platform):
+        pal = ChannelPAL()
+        session = platform.execute_pal(pal, inputs=b"\x00", nonce=NONCE)
+        attestation = platform.attest(NONCE, session)
+
+        class Decoy(PAL):
+            name = "decoy"
+            modules = ("secure_channel",)
+
+            def run(self, ctx):
+                ctx.write_output(ctx.secure_channel.establish())
+
+        decoy_image = platform.build(Decoy())
+        client = SecureChannelClient(platform.verifier(), platform.machine.rng.fork("c"))
+        with pytest.raises(SecureChannelError):
+            client.accept(attestation, decoy_image, NONCE)
+
+    def test_client_rejects_substituted_key(self, platform):
+        """A MITM OS that swaps its own public key into the outputs breaks
+        the PCR-17 chain and is caught."""
+        from dataclasses import replace
+
+        from repro.crypto.rsa import generate_rsa_keypair
+        from repro.sim.rng import DeterministicRNG
+
+        pal = ChannelPAL()
+        session = platform.execute_pal(pal, inputs=b"\x00", nonce=NONCE)
+        attestation = platform.attest(NONCE, session)
+
+        mitm_keys = generate_rsa_keypair(512, DeterministicRNG(666))
+        _, sealed = decode_channel_output(attestation.outputs)
+        forged_outputs = encode_channel_output(mitm_keys.public, sealed)
+        forged = replace(attestation, outputs=forged_outputs)
+
+        client = SecureChannelClient(platform.verifier(), platform.machine.rng.fork("c"))
+        with pytest.raises(SecureChannelError):
+            client.accept(forged, session.image, NONCE)
+
+    def test_client_rejects_stale_nonce(self, platform):
+        pal = ChannelPAL()
+        session = platform.execute_pal(pal, inputs=b"\x00", nonce=NONCE)
+        attestation = platform.attest(NONCE, session)
+        client = SecureChannelClient(platform.verifier(), platform.machine.rng.fork("c"))
+        with pytest.raises(SecureChannelError):
+            client.accept(attestation, session.image, b"\x0f" * 20)
+
+
+class TestChannelUse:
+    def test_other_pal_cannot_open_channel(self, platform):
+        pal = ChannelPAL()
+        client, channel = establish(platform, pal)
+        ciphertext = client.encrypt(channel, b"secret")
+
+        class Thief(PAL):
+            name = "thief"
+            modules = ("secure_channel",)
+
+            def run(self, ctx):
+                sdata_len = int.from_bytes(ctx.inputs[:4], "big")
+                sdata = ctx.inputs[4 : 4 + sdata_len]
+                ctx.write_output(ctx.secure_channel.open(sdata, ctx.inputs[4 + sdata_len :]))
+
+        sdata = channel.sdata.encode()
+        with pytest.raises(PALRuntimeError):
+            platform.execute_pal(
+                Thief(), inputs=len(sdata).to_bytes(4, "big") + sdata + ciphertext
+            )
+
+    def test_os_learns_nothing_from_transit(self, platform):
+        """The plaintext never appears in the ciphertext or sealed data."""
+        client, channel = establish(platform, ChannelPAL())
+        ciphertext = client.encrypt(channel, b"plaintext-marker")
+        assert b"plaintext-marker" not in ciphertext
+        assert b"plaintext-marker" not in channel.sdata.encode()
+
+    def test_message_length_limit(self, platform):
+        client, channel = establish(platform, ChannelPAL())
+        limit = channel.pal_public.modulus_bytes - 11
+        with pytest.raises(SecureChannelError):
+            client.encrypt(channel, b"x" * (limit + 1))
+
+    def test_malformed_sdata_contained(self, platform):
+        pal = ChannelPAL()
+        client, channel = establish(platform, pal)
+        ciphertext = client.encrypt(channel, b"hi")
+        bad_sdata = b"\xde\xad\xbe\xef"
+        inputs = b"\x01" + len(bad_sdata).to_bytes(4, "big") + bad_sdata + ciphertext
+        with pytest.raises(PALRuntimeError):
+            platform.execute_pal(pal, inputs=inputs)
+
+
+class TestEncoding:
+    def test_channel_output_roundtrip(self, platform):
+        client, channel = establish(platform, ChannelPAL())
+        payload = encode_channel_output(channel.pal_public, channel.sdata)
+        public, sealed = decode_channel_output(payload)
+        assert public == channel.pal_public
+        assert sealed == channel.sdata
+
+    def test_truncated_output_rejected(self):
+        with pytest.raises(SecureChannelError):
+            decode_channel_output(b"\x00\x00")
+
+    def test_trailing_bytes_rejected(self, platform):
+        client, channel = establish(platform, ChannelPAL())
+        payload = encode_channel_output(channel.pal_public, channel.sdata)
+        with pytest.raises(SecureChannelError):
+            decode_channel_output(payload + b"junk")

@@ -1,0 +1,111 @@
+"""SLB Core watchdog tests (paper §5.1.2: limiting PAL execution time)."""
+
+import pytest
+
+from repro.core import PAL
+from repro.errors import PALRuntimeError
+
+
+class BudgetedPAL(PAL):
+    """Charges a configurable amount of work under a 100 ms budget."""
+
+    name = "budgeted"
+    modules = ()
+    max_work_ms = 100.0
+    work_ms = 50.0
+
+    def run(self, ctx):
+        ctx.charge(type(self).work_ms, "app-work")
+        ctx.write_output(b"within-budget")
+
+
+class RunawayPAL(PAL):
+    """An infinite loop, as a buggy or malicious PAL would run."""
+
+    name = "runaway"
+    modules = ()
+    max_work_ms = 200.0
+
+    def run(self, ctx):
+        while True:  # the watchdog is the only way out
+            ctx.charge(50.0, "spinning")
+
+
+class TPMHeavyPAL(PAL):
+    """Tiny work budget but lots of TPM time — must NOT be killed.
+
+    §5.1.2's caveat: 'a PAL may need some minimal amount of time to allow
+    TPM operations to complete'; TPM latency is exempt from the budget.
+    """
+
+    name = "tpm-heavy"
+    modules = ("tpm_utils",)
+    max_work_ms = 5.0
+
+    def run(self, ctx):
+        blob = ctx.tpm.seal_to_pal(b"x" * 20, ctx.self_pcr17)  # ~10 ms TPM
+        ctx.tpm.unseal(blob)  # ~898 ms TPM
+        ctx.charge(2.0, "small-cpu-work")
+        ctx.write_output(b"tpm-done")
+
+
+class UnboundedPAL(PAL):
+    name = "unbounded"
+    modules = ()
+    # max_work_ms left as None: no watchdog.
+
+    def run(self, ctx):
+        ctx.charge(10_000.0, "huge-but-allowed")
+        ctx.write_output(b"ok")
+
+
+class TestWatchdog:
+    def test_within_budget_completes(self, platform):
+        assert platform.execute_pal(BudgetedPAL()).outputs == b"within-budget"
+
+    def test_over_budget_terminated(self, platform):
+        BudgetedPAL.work_ms = 150.0
+        try:
+            with pytest.raises(PALRuntimeError, match="watchdog"):
+                platform.execute_pal(BudgetedPAL(), optimize=False)
+        finally:
+            BudgetedPAL.work_ms = 50.0
+
+    def test_runaway_pal_cannot_hold_the_machine(self, platform):
+        with pytest.raises(PALRuntimeError, match="watchdog"):
+            platform.execute_pal(RunawayPAL())
+        # The OS is back and functional.
+        bsp = platform.machine.cpu.bsp
+        assert bsp.interrupts_enabled and bsp.paging_enabled
+
+    def test_runaway_virtual_time_bounded(self, platform):
+        before = platform.machine.clock.now()
+        with pytest.raises(PALRuntimeError):
+            platform.execute_pal(RunawayPAL())
+        elapsed = platform.machine.clock.now() - before
+        # The loop charged at most budget + one 50 ms quantum + session
+        # overhead — not unbounded time.
+        assert elapsed < 400.0
+
+    def test_tpm_time_exempt_from_budget(self, platform):
+        result = platform.execute_pal(TPMHeavyPAL())
+        assert result.outputs == b"tpm-done"
+        assert result.tpm_ms["unseal"] > 800.0  # really did the slow op
+
+    def test_no_watchdog_by_default(self, platform):
+        result = platform.execute_pal(UnboundedPAL())
+        assert result.outputs == b"ok"
+
+    def test_watchdog_kill_still_cleans_up(self, platform):
+        class LeakyRunaway(PAL):
+            name = "leaky-runaway"
+            modules = ()
+            max_work_ms = 50.0
+
+            def run(self, ctx):
+                ctx.mem.write(ctx.layout.stack_base, b"RUNAWAY-RESIDUE")
+                ctx.charge(100.0, "too-much")
+
+        with pytest.raises(PALRuntimeError):
+            platform.execute_pal(LeakyRunaway())
+        assert platform.machine.memory.find_bytes(b"RUNAWAY-RESIDUE") == ()

@@ -1,0 +1,156 @@
+"""HMAC, AES-128, and RC4 tests against published vectors."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.hmac import constant_time_equal, hmac_md5, hmac_sha1
+from repro.crypto.rc4 import RC4
+from repro.errors import ReproError
+
+
+class TestHMAC:
+    def test_rfc2202_sha1_case1(self):
+        key = b"\x0b" * 20
+        assert hmac_sha1(key, b"Hi There").hex() == (
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        )
+
+    def test_rfc2202_sha1_case2(self):
+        assert hmac_sha1(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        )
+
+    def test_rfc2202_md5_case1(self):
+        key = b"\x0b" * 16
+        assert hmac_md5(key, b"Hi There").hex() == "9294727a3638bb1c13f48ef8158bfc9d"
+
+    @pytest.mark.parametrize("key_len", [0, 1, 20, 64, 65, 200])
+    def test_matches_stdlib_across_key_sizes(self, key_len):
+        key = bytes(range(256))[:key_len]
+        msg = b"the quick brown fox" * 7
+        assert hmac_sha1(key, msg) == std_hmac.new(key, msg, hashlib.sha1).digest()
+        assert hmac_md5(key, msg) == std_hmac.new(key, msg, hashlib.md5).digest()
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"same", b"same")
+        assert not constant_time_equal(b"same", b"diff")
+        assert not constant_time_equal(b"short", b"longer")
+        assert constant_time_equal(b"", b"")
+
+
+class TestAES128:
+    FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+    FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_fips197_encrypt(self):
+        assert AES128(self.FIPS_KEY).encrypt_block(self.FIPS_PT) == self.FIPS_CT
+
+    def test_fips197_decrypt(self):
+        assert AES128(self.FIPS_KEY).decrypt_block(self.FIPS_CT) == self.FIPS_PT
+
+    def test_sp800_38a_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert AES128(key).encrypt_block(pt).hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+    def test_sp800_38a_cbc_four_block_vector(self):
+        """NIST SP 800-38A F.2.1 (CBC-AES128.Encrypt), all four blocks."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411e5fbc1191a0a52ef"
+            "f69f2445df4f9b17ad2b417be66c3710"
+        )
+        expected = (
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2"
+            "73bed6b8e3c1743b7116e69e22229516"
+            "3ff1caa1681fac09120eca307586e1a7"
+        )
+        # Our CBC appends a PKCS#7 padding block; the spec vector covers
+        # the four data blocks.
+        ciphertext = AES128(key).encrypt_cbc(plaintext, iv)
+        assert ciphertext[:64].hex() == expected
+        assert AES128(key).decrypt_cbc(ciphertext, iv) == plaintext
+
+    def test_block_roundtrip_random_keys(self):
+        for i in range(8):
+            key = bytes([i]) * 16
+            cipher = AES128(key)
+            block = bytes(range(i, i + 16))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_cbc_roundtrip_various_lengths(self):
+        cipher = AES128(b"k" * 16)
+        iv = b"\x01" * 16
+        for n in (0, 1, 15, 16, 17, 100, 4096):
+            data = bytes(range(256))[: n % 256] * (n // 256 + 1)
+            data = data[:n]
+            assert cipher.decrypt_cbc(cipher.encrypt_cbc(data, iv), iv) == data
+
+    def test_cbc_wrong_iv_fails_or_garbles(self):
+        cipher = AES128(b"k" * 16)
+        ct = cipher.encrypt_cbc(b"secret payload here!", b"\x01" * 16)
+        try:
+            out = cipher.decrypt_cbc(ct, b"\x02" * 16)
+        except ReproError:
+            return  # padding check caught the corruption
+        assert out != b"secret payload here!"
+
+    def test_cbc_tampered_ciphertext_detected_or_garbled(self):
+        cipher = AES128(b"k" * 16)
+        ct = bytearray(cipher.encrypt_cbc(b"integrity matters", b"\x00" * 16))
+        ct[5] ^= 0xFF
+        try:
+            out = cipher.decrypt_cbc(bytes(ct), b"\x00" * 16)
+        except ReproError:
+            return
+        assert out != b"integrity matters"
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ReproError):
+            AES128(b"short")
+
+    def test_bad_block_length_rejected(self):
+        cipher = AES128(b"k" * 16)
+        with pytest.raises(ReproError):
+            cipher.encrypt_block(b"tooshort")
+        with pytest.raises(ReproError):
+            cipher.decrypt_cbc(b"not-a-multiple-of-16!", b"\x00" * 16)
+
+
+class TestRC4:
+    def test_classic_vectors(self):
+        assert RC4(b"Key").process(b"Plaintext").hex() == "bbf316e8d940af0ad3"
+        assert RC4(b"Wiki").process(b"pedia").hex() == "1021bf0420"
+        assert RC4(b"Secret").process(b"Attack at dawn").hex() == (
+            "45a01f645fc35b383552544b9bf5"
+        )
+
+    def test_rfc6229_40bit_key_stream(self):
+        stream = RC4(bytes.fromhex("0102030405")).keystream(16)
+        assert stream.hex() == "b2396305f03dc027ccc3524a0a1118a8"
+
+    def test_encrypt_decrypt_symmetry(self):
+        data = b"round trip data" * 10
+        assert RC4(b"k1").decrypt(RC4(b"k1").encrypt(data)) == data
+
+    def test_keystream_is_stateful(self):
+        cipher = RC4(b"stateful")
+        first = cipher.keystream(32)
+        second = cipher.keystream(32)
+        assert first != second
+        fresh = RC4(b"stateful").keystream(64)
+        assert fresh == first + second
+
+    def test_key_length_limits(self):
+        with pytest.raises(ReproError):
+            RC4(b"")
+        with pytest.raises(ReproError):
+            RC4(b"x" * 257)

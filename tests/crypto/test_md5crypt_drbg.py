@@ -1,0 +1,108 @@
+"""md5crypt and DRBG tests."""
+
+import pytest
+
+from repro.crypto.drbg import HashDRBG
+from repro.crypto.md5crypt import md5crypt, md5crypt_verify
+from repro.errors import ReproError
+
+
+class TestMD5Crypt:
+    # Vectors produced by glibc crypt(3) with $1$ salts.
+    VECTORS = [
+        (b"password", b"abcd1234", "$1$abcd1234$Kx528z52Ohx1JLSzliZmw0"),
+    ]
+
+    @pytest.mark.parametrize("password,salt,expected", VECTORS)
+    def test_glibc_vector(self, password, salt, expected):
+        assert md5crypt(password, salt) == expected
+
+    def test_salt_prefix_stripping(self):
+        # A "$1$salt$..." style salt argument is tolerated.
+        direct = md5crypt(b"pw", b"saltsalt")
+        prefixed = md5crypt(b"pw", b"$1$saltsalt$whatever")
+        assert direct == prefixed
+
+    def test_salt_truncated_to_8(self):
+        assert md5crypt(b"pw", b"12345678") == md5crypt(b"pw", b"123456789abc")
+
+    def test_output_format(self):
+        out = md5crypt(b"secret", b"mysalt")
+        parts = out.split("$")
+        assert parts[1] == "1"
+        assert parts[2] == "mysalt"
+        assert len(parts[3]) == 22
+
+    def test_different_passwords_differ(self):
+        assert md5crypt(b"alpha", b"s1") != md5crypt(b"beta", b"s1")
+
+    def test_different_salts_differ(self):
+        assert md5crypt(b"same", b"salt1") != md5crypt(b"same", b"salt2")
+
+    def test_verify_roundtrip(self):
+        crypt_string = md5crypt(b"hunter2", b"qrst")
+        assert md5crypt_verify(b"hunter2", crypt_string)
+        assert not md5crypt_verify(b"hunter3", crypt_string)
+
+    def test_verify_rejects_non_md5crypt(self):
+        with pytest.raises(ReproError):
+            md5crypt_verify(b"pw", "$6$sha512-crypt$xyz")
+
+    def test_empty_salt_rejected(self):
+        with pytest.raises(ReproError):
+            md5crypt(b"pw", b"")
+
+    def test_string_arguments_accepted(self):
+        assert md5crypt("password", "abcd1234") == self.VECTORS[0][2]
+
+
+class TestHashDRBG:
+    def test_deterministic_for_same_seed(self):
+        a = HashDRBG(b"seed-material-0000")
+        b = HashDRBG(b"seed-material-0000")
+        assert a.generate(64) == b.generate(64)
+
+    def test_different_seeds_diverge(self):
+        a = HashDRBG(b"seed-material-0000")
+        b = HashDRBG(b"seed-material-0001")
+        assert a.generate(64) != b.generate(64)
+
+    def test_stream_advances(self):
+        drbg = HashDRBG(b"advancing-seed-xx")
+        assert drbg.generate(32) != drbg.generate(32)
+
+    def test_reseed_changes_output(self):
+        a = HashDRBG(b"common-seed-00000")
+        b = HashDRBG(b"common-seed-00000")
+        b.reseed(b"fresh entropy")
+        assert a.generate(32) != b.generate(32)
+
+    def test_short_seed_rejected(self):
+        with pytest.raises(ReproError):
+            HashDRBG(b"short")
+
+    def test_generate_negative_rejected(self):
+        drbg = HashDRBG(b"valid-seed-123456")
+        with pytest.raises(ReproError):
+            drbg.generate(-1)
+
+    def test_generate_zero(self):
+        drbg = HashDRBG(b"valid-seed-123456")
+        assert drbg.generate(0) == b""
+
+    def test_randint_range(self):
+        drbg = HashDRBG(b"randint-seed-0000")
+        values = {drbg.randint(1, 6) for _ in range(200)}
+        assert values <= set(range(1, 7))
+        assert len(values) == 6  # all faces appear in 200 rolls
+
+    def test_randint_empty_range_rejected(self):
+        drbg = HashDRBG(b"randint-seed-0000")
+        with pytest.raises(ReproError):
+            drbg.randint(5, 4)
+
+    def test_byte_distribution_sanity(self):
+        drbg = HashDRBG(b"distribution-seed")
+        data = drbg.generate(4096)
+        # Every byte value class should be roughly populated.
+        assert len(set(data)) > 200

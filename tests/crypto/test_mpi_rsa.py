@@ -1,0 +1,192 @@
+"""Multi-precision arithmetic, RSA, and PKCS#1 tests."""
+
+import pytest
+
+from repro.crypto.mpi import (
+    bytes_to_int,
+    extended_gcd,
+    gcd,
+    generate_prime,
+    int_to_bytes,
+    is_probable_prime,
+    mod_inverse,
+    mod_pow,
+)
+from repro.crypto.pkcs1 import (
+    pkcs1_decrypt,
+    pkcs1_encrypt,
+    pkcs1_sign_sha1,
+    pkcs1_verify_sha1,
+)
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_rsa_keypair
+from repro.errors import ReproError
+from repro.sim.rng import DeterministicRNG
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(512, DeterministicRNG(99))
+
+
+class TestMPI:
+    def test_mod_pow_matches_builtin(self):
+        for base, exp, mod in [(2, 10, 1000), (12345, 6789, 99991), (0, 5, 7), (5, 0, 7)]:
+            assert mod_pow(base, exp, mod) == pow(base, exp, mod)
+
+    def test_mod_pow_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            mod_pow(2, 3, 0)
+        with pytest.raises(ReproError):
+            mod_pow(2, -1, 5)
+
+    def test_gcd(self):
+        assert gcd(12, 18) == 6
+        assert gcd(17, 5) == 1
+        assert gcd(0, 5) == 5
+
+    def test_extended_gcd_bezout(self):
+        for a, b in [(240, 46), (17, 5), (100, 75)]:
+            g, x, y = extended_gcd(a, b)
+            assert a * x + b * y == g == gcd(a, b)
+
+    def test_mod_inverse(self):
+        assert (3 * mod_inverse(3, 11)) % 11 == 1
+        assert (17 * mod_inverse(17, 3120)) % 3120 == 1
+
+    def test_mod_inverse_nonexistent(self):
+        with pytest.raises(ReproError):
+            mod_inverse(6, 9)
+
+    def test_miller_rabin_known_primes(self):
+        rng = DeterministicRNG(1)
+        for p in (2, 3, 5, 7, 97, 7919, 104729, (1 << 61) - 1):
+            assert is_probable_prime(p, rng)
+
+    def test_miller_rabin_known_composites(self):
+        rng = DeterministicRNG(2)
+        # Including Carmichael numbers, which fool Fermat but not MR.
+        for n in (1, 4, 561, 1105, 6601, 8911, 2821, 104730):
+            assert not is_probable_prime(n, rng)
+
+    def test_generate_prime_properties(self):
+        rng = DeterministicRNG(3)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert p % 2 == 1
+        assert is_probable_prime(p, rng)
+
+    def test_int_bytes_roundtrip(self):
+        for value in (0, 1, 255, 256, 2**64 - 1):
+            assert bytes_to_int(int_to_bytes(value, 16)) == value
+
+    def test_int_to_bytes_rejects_negative(self):
+        with pytest.raises(ReproError):
+            int_to_bytes(-1, 4)
+
+
+class TestRSA:
+    def test_keypair_relations(self, keypair):
+        priv = keypair.private
+        assert priv.p * priv.q == priv.n
+        assert priv.n.bit_length() == 512
+        # e*d ≡ 1 mod φ(n)
+        phi = (priv.p - 1) * (priv.q - 1)
+        assert (priv.e * priv.d) % phi == 1
+
+    def test_raw_roundtrip(self, keypair):
+        m = 0x1234567890ABCDEF
+        c = keypair.public.raw_encrypt(m)
+        assert keypair.private.raw_decrypt(c) == m
+
+    def test_crt_matches_plain_exponentiation(self, keypair):
+        priv = keypair.private
+        c = 0xDEADBEEF
+        assert priv.raw_decrypt(c) == pow(c, priv.d, priv.n)
+
+    def test_out_of_range_rejected(self, keypair):
+        with pytest.raises(ReproError):
+            keypair.public.raw_encrypt(keypair.public.n)
+        with pytest.raises(ReproError):
+            keypair.private.raw_decrypt(-1)
+
+    def test_public_key_encode_decode(self, keypair):
+        encoded = keypair.public.encode()
+        decoded = RSAPublicKey.decode(encoded)
+        assert decoded == keypair.public
+
+    def test_private_key_encode_decode(self, keypair):
+        encoded = keypair.private.encode()
+        decoded = RSAPrivateKey.decode(encoded)
+        assert decoded == keypair.private
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            RSAPublicKey.decode(b"\x00\x00")
+        with pytest.raises(ReproError):
+            RSAPrivateKey.decode(b"\xff" * 7)
+
+    def test_decode_rejects_trailing_bytes(self, keypair):
+        with pytest.raises(ReproError):
+            RSAPublicKey.decode(keypair.public.encode() + b"extra")
+
+    def test_fingerprint_is_stable_and_distinct(self, keypair):
+        other = generate_rsa_keypair(512, DeterministicRNG(100))
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert keypair.public.fingerprint() != other.public.fingerprint()
+
+    def test_keygen_rejects_bad_sizes(self):
+        rng = DeterministicRNG(4)
+        with pytest.raises(ReproError):
+            generate_rsa_keypair(63, rng)
+        with pytest.raises(ReproError):
+            generate_rsa_keypair(129, rng)
+
+
+class TestPKCS1:
+    def test_encrypt_decrypt_roundtrip(self, keypair):
+        rng = DeterministicRNG(5)
+        for message in (b"", b"x", b"secret password", b"m" * 53):
+            ct = pkcs1_encrypt(keypair.public, message, rng)
+            assert len(ct) == keypair.public.modulus_bytes
+            assert pkcs1_decrypt(keypair.private, ct) == message
+
+    def test_encryption_is_randomized(self, keypair):
+        rng = DeterministicRNG(6)
+        c1 = pkcs1_encrypt(keypair.public, b"same", rng)
+        c2 = pkcs1_encrypt(keypair.public, b"same", rng)
+        assert c1 != c2
+
+    def test_message_too_long(self, keypair):
+        rng = DeterministicRNG(7)
+        with pytest.raises(ReproError):
+            pkcs1_encrypt(keypair.public, b"m" * 54, rng)
+
+    def test_tampered_ciphertext_rejected(self, keypair):
+        rng = DeterministicRNG(8)
+        ct = bytearray(pkcs1_encrypt(keypair.public, b"payload", rng))
+        ct[10] ^= 0x40
+        with pytest.raises(ReproError):
+            pkcs1_decrypt(keypair.private, bytes(ct))
+
+    def test_wrong_length_ciphertext_rejected(self, keypair):
+        with pytest.raises(ReproError):
+            pkcs1_decrypt(keypair.private, b"\x00" * 10)
+
+    def test_sign_verify(self, keypair):
+        sig = pkcs1_sign_sha1(keypair.private, b"signed message")
+        assert pkcs1_verify_sha1(keypair.public, b"signed message", sig)
+
+    def test_verify_rejects_wrong_message(self, keypair):
+        sig = pkcs1_sign_sha1(keypair.private, b"original")
+        assert not pkcs1_verify_sha1(keypair.public, b"forged", sig)
+
+    def test_verify_rejects_wrong_key(self, keypair):
+        other = generate_rsa_keypair(512, DeterministicRNG(11))
+        sig = pkcs1_sign_sha1(keypair.private, b"message")
+        assert not pkcs1_verify_sha1(other.public, b"message", sig)
+
+    def test_verify_rejects_mangled_signature(self, keypair):
+        sig = bytearray(pkcs1_sign_sha1(keypair.private, b"message"))
+        sig[0] ^= 1
+        assert not pkcs1_verify_sha1(keypair.public, b"message", bytes(sig))
+        assert not pkcs1_verify_sha1(keypair.public, b"message", b"short")

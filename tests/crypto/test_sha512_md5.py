@@ -1,0 +1,100 @@
+"""SHA-512 and MD5 known-answer and behavioural tests."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.md5 import MD5, md5
+from repro.crypto.sha512 import SHA512, sha512
+
+
+class TestSHA512:
+    @pytest.mark.parametrize(
+        "message,expected",
+        [
+            (
+                b"abc",
+                "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+                "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f",
+            ),
+            (
+                b"",
+                "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+                "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e",
+            ),
+        ],
+    )
+    def test_known_answer(self, message, expected):
+        assert sha512(message).hex() == expected
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"x", b"block" * 99, bytes(range(256)) * 5, b"\x00" * 1024],
+    )
+    def test_matches_hashlib(self, data):
+        assert sha512(data) == hashlib.sha512(data).digest()
+
+    def test_padding_boundaries(self):
+        # 111/112/127/128/129 bytes straddle SHA-512's padding edges.
+        for n in (111, 112, 127, 128, 129, 239, 240):
+            data = b"p" * n
+            assert sha512(data) == hashlib.sha512(data).digest()
+
+    def test_incremental(self):
+        h = SHA512()
+        for chunk in (b"one", b"two", b"three" * 50):
+            h.update(chunk)
+        assert h.digest() == hashlib.sha512(b"onetwo" + b"three" * 50).digest()
+
+    def test_digest_is_idempotent(self):
+        h = SHA512(b"state")
+        assert h.digest() == h.digest()
+
+    def test_copy_is_independent(self):
+        h = SHA512(b"base")
+        clone = h.copy()
+        clone.update(b"-fork")
+        assert h.digest() == sha512(b"base")
+        assert clone.digest() == sha512(b"base-fork")
+
+
+class TestMD5:
+    @pytest.mark.parametrize(
+        "message,expected",
+        [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+        ],
+    )
+    def test_rfc1321_vectors(self, message, expected):
+        assert md5(message).hex() == expected
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"y" * 55, b"y" * 56, b"y" * 64, bytes(range(256)) * 9],
+    )
+    def test_matches_hashlib(self, data):
+        assert md5(data) == hashlib.md5(data).digest()
+
+    def test_incremental(self):
+        h = MD5()
+        h.update(b"incre")
+        h.update(b"mental")
+        assert h.digest() == hashlib.md5(b"incremental").digest()
+
+    def test_copy_is_independent(self):
+        h = MD5(b"root")
+        clone = h.copy()
+        h.update(b"1")
+        clone.update(b"2")
+        assert h.digest() == md5(b"root1")
+        assert clone.digest() == md5(b"root2")
+
+    def test_digest_is_idempotent(self):
+        h = MD5(b"same")
+        assert h.digest() == h.digest()

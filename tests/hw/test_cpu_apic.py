@@ -1,0 +1,156 @@
+"""CPU core, segmentation, and APIC tests."""
+
+import pytest
+
+from repro.errors import PrivilegeError, SegmentationFault, SkinitError
+from repro.hw.apic import APIC
+from repro.hw.cpu import CPU, GDT, SegmentDescriptor
+
+
+class TestSegmentDescriptor:
+    def test_translate_within_limit(self):
+        seg = SegmentDescriptor("ds", base=0x1000, limit=0x100)
+        assert seg.translate(0x10, 4) == 0x1010
+
+    def test_translate_at_limit_rejected(self):
+        seg = SegmentDescriptor("ds", base=0x1000, limit=0x100)
+        with pytest.raises(SegmentationFault):
+            seg.translate(0x100, 1)
+        with pytest.raises(SegmentationFault):
+            seg.translate(0xFF, 2)
+
+    def test_negative_offset_rejected(self):
+        seg = SegmentDescriptor("ds", base=0x1000, limit=0x100)
+        with pytest.raises(SegmentationFault):
+            seg.translate(-1, 1)
+
+    def test_zero_length_at_limit_ok(self):
+        seg = SegmentDescriptor("ds", base=0, limit=16)
+        assert seg.translate(16, 0) == 16
+
+
+class TestGDT:
+    def test_install_and_lookup(self):
+        gdt = GDT()
+        gdt.install(SegmentDescriptor("cs", 0, 100, executable=True))
+        assert gdt.lookup("cs").executable
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(SegmentationFault):
+            GDT().lookup("nope")
+
+    def test_flat_covers_all_memory(self):
+        gdt = GDT.flat(1 << 20)
+        for name in ("cs", "ds", "ss"):
+            seg = gdt.lookup(name)
+            assert seg.base == 0 and seg.limit == 1 << 20
+
+    def test_names_sorted(self):
+        gdt = GDT.flat(4096)
+        assert gdt.names() == ["cs", "ds", "ss"]
+
+
+class TestCPUCore:
+    def test_bsp_identification(self):
+        cpu = CPU(num_cores=2)
+        assert cpu.bsp.is_bsp
+        assert not cpu.aps[0].is_bsp
+        assert len(cpu.cores) == 2
+
+    def test_require_ring(self):
+        cpu = CPU()
+        cpu.bsp.ring = 3
+        with pytest.raises(PrivilegeError):
+            cpu.bsp.require_ring(0, "SKINIT")
+        cpu.bsp.ring = 0
+        cpu.bsp.require_ring(0, "SKINIT")  # no raise
+
+    def test_segment_register_loading(self):
+        cpu = CPU()
+        core = cpu.bsp
+        gdt = GDT.flat(1 << 16)
+        core.load_gdt(gdt)
+        core.load_segment("ds", "ds")
+        assert core.active_segment("ds").limit == 1 << 16
+
+    def test_load_segment_requires_descriptor(self):
+        cpu = CPU()
+        core = cpu.bsp
+        core.load_gdt(GDT())
+        with pytest.raises(SegmentationFault):
+            core.load_segment("ds", "missing")
+
+    def test_active_segment_requires_load(self):
+        cpu = CPU()
+        core = cpu.bsp
+        core.load_gdt(GDT.flat(4096))
+        with pytest.raises(SegmentationFault):
+            core.active_segment("fs")
+
+    def test_snapshot_restore_roundtrip(self):
+        cpu = CPU()
+        core = cpu.bsp
+        gdt = GDT.flat(1 << 16)
+        core.load_gdt(gdt)
+        core.load_segment("cs", "cs")
+        core.cr3 = 0xCAFE000
+        core.interrupts_enabled = True
+        snapshot = core.snapshot()
+
+        core.ring = 3
+        core.interrupts_enabled = False
+        core.cr3 = 0
+        core.paging_enabled = False
+        core.restore(snapshot)
+
+        assert core.ring == 0
+        assert core.interrupts_enabled
+        assert core.cr3 == 0xCAFE000
+        assert core.paging_enabled
+        assert core.segments["cs"] == "cs"
+
+    def test_single_core_cpu_has_no_aps(self):
+        cpu = CPU(num_cores=1)
+        assert cpu.aps == []
+        assert cpu.all_aps_quiesced()  # vacuously true
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(PrivilegeError):
+            CPU(num_cores=0)
+
+
+class TestAPIC:
+    def test_init_ipi_requires_halted_ap(self):
+        cpu = CPU(num_cores=2)
+        apic = APIC(cpu)
+        with pytest.raises(SkinitError):
+            apic.send_init_ipi(1)  # AP still running
+
+    def test_init_ipi_to_bsp_rejected(self):
+        cpu = CPU(num_cores=2)
+        apic = APIC(cpu)
+        with pytest.raises(SkinitError):
+            apic.send_init_ipi(0)
+
+    def test_broadcast_after_deschedule(self):
+        cpu = CPU(num_cores=4)
+        apic = APIC(cpu)
+        for ap in cpu.aps:
+            ap.halted = True
+        apic.broadcast_init_ipi()
+        assert cpu.all_aps_quiesced()
+
+    def test_release_aps(self):
+        cpu = CPU(num_cores=2)
+        apic = APIC(cpu)
+        cpu.aps[0].halted = True
+        apic.send_init_ipi(1)
+        apic.release_aps()
+        assert not cpu.aps[0].received_init_ipi
+
+    def test_quiesced_requires_both_halt_and_ipi(self):
+        cpu = CPU(num_cores=2)
+        cpu.aps[0].halted = True
+        assert not cpu.all_aps_quiesced()  # INIT not yet received
+        cpu.aps[0].received_init_ipi = True
+        assert cpu.all_aps_quiesced()

@@ -1,0 +1,52 @@
+"""Machine assembly odds and ends."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.hw.machine import Machine
+from repro.sim.timing import INFINEON_PROFILE
+
+
+class TestMachineConfiguration:
+    def test_custom_memory_size(self):
+        machine = Machine(seed=1, memory_bytes=16 * 1024 * 1024)
+        machine.memory.write(16 * 1024 * 1024 - 16, b"end")
+        with pytest.raises(MemoryFault):
+            machine.memory.read(16 * 1024 * 1024, 1)
+
+    def test_custom_core_count(self):
+        machine = Machine(seed=2, num_cores=4)
+        assert len(machine.cpu.cores) == 4
+        assert len(machine.cpu.aps) == 3
+
+    def test_profile_selection(self):
+        machine = Machine(seed=3, profile=INFINEON_PROFILE)
+        assert machine.profile.tpm.name == "Infineon v1.2"
+        assert machine.tpm.timings.quote_ms == pytest.approx(331.0)
+
+    def test_boot_segments_cover_memory(self):
+        machine = Machine(seed=4)
+        for core in machine.cpu.cores:
+            assert core.active_segment("cs").limit == machine.memory.size_bytes
+
+    def test_seeds_isolate_machines(self):
+        a, b = Machine(seed=5), Machine(seed=6)
+        assert a.rng.bytes(16) != b.rng.bytes(16)
+
+    def test_same_seed_same_machine(self):
+        a, b = Machine(seed=7), Machine(seed=7)
+        assert a.tpm.aik_public == b.tpm.aik_public
+
+    def test_multiple_dma_devices(self):
+        machine = Machine(seed=8)
+        nic = machine.attach_dma_device("nic")
+        disk = machine.attach_dma_device("disk")
+        machine.memory.write(0x4000, b"shared")
+        assert nic.dma_read(0x4000, 6) == disk.dma_read(0x4000, 6)
+
+    def test_charge_work_traces(self):
+        machine = Machine(seed=9)
+        machine.charge_work(12.5, "app-phase")
+        event = machine.trace.last(kind="work")
+        assert event.detail == {"label": "app-phase", "ms": 12.5}
+        assert machine.clock.now() == pytest.approx(12.5)

@@ -1,0 +1,127 @@
+"""Physical memory and Device Exclusion Vector tests."""
+
+import pytest
+
+from repro.errors import DMAProtectionError, MemoryFault
+from repro.hw.dev import DeviceExclusionVector
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_read_untouched_memory_is_zero(self):
+        mem = PhysicalMemory(1 << 20)
+        assert mem.read(0x1234, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write(0x1000, b"hello world")
+        assert mem.read(0x1000, 11) == b"hello world"
+
+    def test_cross_page_write_and_read(self):
+        mem = PhysicalMemory(1 << 20)
+        data = bytes(range(256)) * 40  # 10240 bytes: spans 3 pages
+        addr = PAGE_SIZE - 100
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+    def test_bounds_checked(self):
+        mem = PhysicalMemory(1 << 16)
+        with pytest.raises(MemoryFault):
+            mem.read((1 << 16) - 4, 8)
+        with pytest.raises(MemoryFault):
+            mem.write(-1, b"x")
+        with pytest.raises(MemoryFault):
+            mem.read(0, -1)
+
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(MemoryFault):
+            PhysicalMemory(PAGE_SIZE + 1)
+        with pytest.raises(MemoryFault):
+            PhysicalMemory(0)
+
+    def test_zeroize(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write(0x2000, b"secret" * 100)
+        mem.zeroize(0x2000, 600)
+        assert mem.is_zero(0x2000, 600)
+
+    def test_zeroize_cross_page(self):
+        mem = PhysicalMemory(1 << 20)
+        addr = PAGE_SIZE - 10
+        mem.write(addr, b"S" * 40)
+        mem.zeroize(addr, 40)
+        assert mem.is_zero(addr, 40)
+
+    def test_find_bytes_within_page(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write(0x3000, b"needle")
+        mem.write(0x8000, b"needle")
+        assert mem.find_bytes(b"needle") == (0x3000, 0x8000)
+
+    def test_find_bytes_across_page_boundary(self):
+        mem = PhysicalMemory(1 << 20)
+        addr = 2 * PAGE_SIZE - 3
+        mem.write(addr, b"straddle")
+        assert addr in mem.find_bytes(b"straddle")
+
+    def test_find_bytes_empty_pattern_rejected(self):
+        mem = PhysicalMemory(1 << 20)
+        with pytest.raises(MemoryFault):
+            mem.find_bytes(b"")
+
+    def test_allocated_pages_sparse(self):
+        mem = PhysicalMemory(1 << 24)
+        assert mem.allocated_pages() == 0
+        mem.write(0, b"x")
+        mem.write(1 << 23, b"y")
+        assert mem.allocated_pages() == 2
+
+    def test_page_range(self):
+        pages = list(PhysicalMemory.page_range(PAGE_SIZE - 1, 2))
+        assert pages == [0, 1]
+        assert list(PhysicalMemory.page_range(0, 0)) == []
+
+
+class TestDeviceExclusionVector:
+    def test_protect_blocks_dma(self):
+        dev = DeviceExclusionVector()
+        dev.protect_range(0x10000, 64 * 1024)
+        with pytest.raises(DMAProtectionError):
+            dev.check_dma(0x10000, 4, "nic")
+
+    def test_partial_overlap_blocked(self):
+        dev = DeviceExclusionVector()
+        dev.protect_range(0x10000, PAGE_SIZE)
+        # Transfer starting below the protected page but reaching into it.
+        with pytest.raises(DMAProtectionError):
+            dev.check_dma(0x10000 - 8, 16, "nic")
+
+    def test_unprotected_memory_allowed(self):
+        dev = DeviceExclusionVector()
+        dev.protect_range(0x10000, PAGE_SIZE)
+        dev.check_dma(0x20000, 4096, "nic")  # must not raise
+
+    def test_unprotect_range(self):
+        dev = DeviceExclusionVector()
+        dev.protect_range(0x10000, 64 * 1024)
+        dev.unprotect_range(0x10000, 64 * 1024)
+        dev.check_dma(0x10000, 4, "nic")
+
+    def test_clear(self):
+        dev = DeviceExclusionVector()
+        dev.protect_range(0, 1 << 20)
+        dev.clear()
+        assert len(dev) == 0
+
+    def test_page_granularity(self):
+        dev = DeviceExclusionVector()
+        dev.protect_range(100, 1)  # a single byte protects its whole page
+        assert dev.is_page_protected(0)
+        with pytest.raises(DMAProtectionError):
+            dev.check_dma(PAGE_SIZE - 1, 1, "nic")
+
+    def test_skinit_covers_64kb(self):
+        """SKINIT protects 16 pages for a 64-KB SLB."""
+        dev = DeviceExclusionVector()
+        dev.protect_range(0x100000, 64 * 1024)
+        assert len(dev) == 16

@@ -1,0 +1,218 @@
+"""SKINIT semantics and machine-assembly tests (paper §2.4)."""
+
+import pytest
+
+from repro.crypto.sha1 import sha1
+from repro.errors import (
+    DebugAccessError,
+    DMAProtectionError,
+    SkinitError,
+    SLBFormatError,
+)
+from repro.hw.machine import Machine
+from repro.hw.skinit import SLB_REGION_SIZE, parse_slb_header
+
+
+def make_minimal_slb(length: int = 4096, entry: int = 4) -> bytes:
+    """A raw SLB image with valid header and deterministic body."""
+    header = length.to_bytes(2, "little") + entry.to_bytes(2, "little")
+    body = bytes((i * 7) & 0xFF for i in range(length - 4))
+    return (header + body).ljust(SLB_REGION_SIZE, b"\x00")
+
+
+@pytest.fixture
+def armed_machine():
+    """A machine with quiesced APs, an installed SLB, and a no-op entry."""
+    machine = Machine(seed=42)
+    for ap in machine.cpu.aps:
+        ap.halted = True
+    machine.apic.broadcast_init_ipi()
+    image = make_minimal_slb()
+    slb_base = 0x100000
+    machine.memory.write(slb_base, image)
+
+    observations = {}
+
+    def entry(machine_, core, base):
+        observations["ran"] = True
+        observations["interrupts"] = core.interrupts_enabled
+        observations["debug"] = core.debug_access_enabled
+        observations["paging"] = core.paging_enabled
+        observations["pcr17"] = machine_.tpm.pcrs.read(17)
+        return "entry-result"
+
+    machine.register_executable(image, entry)
+    return machine, slb_base, image, observations
+
+
+class TestSLBHeader:
+    def test_parse(self):
+        header = (500).to_bytes(2, "little") + (4).to_bytes(2, "little")
+        assert parse_slb_header(header) == (500, 4)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(SLBFormatError):
+            parse_slb_header(b"\x01")
+
+
+class TestSkinitPreconditions:
+    def test_requires_ring0(self, armed_machine):
+        machine, slb_base, _, _ = armed_machine
+        machine.cpu.bsp.ring = 3
+        with pytest.raises(Exception):
+            machine.skinit(0, slb_base)
+
+    def test_requires_bsp(self, armed_machine):
+        machine, slb_base, _, _ = armed_machine
+        with pytest.raises(SkinitError):
+            machine.skinit(1, slb_base)
+
+    def test_requires_quiesced_aps(self):
+        machine = Machine(seed=43)
+        image = make_minimal_slb()
+        machine.memory.write(0x100000, image)
+        machine.register_executable(image, lambda *a: None)
+        with pytest.raises(SkinitError):
+            machine.skinit(0, 0x100000)  # APs never descheduled
+
+    def test_requires_page_alignment(self, armed_machine):
+        machine, _, _, _ = armed_machine
+        with pytest.raises(SkinitError):
+            machine.skinit(0, 0x100001)
+
+    def test_rejects_slb_past_end_of_memory(self, armed_machine):
+        machine, _, _, _ = armed_machine
+        end = machine.memory.size_bytes
+        with pytest.raises(SkinitError):
+            machine.skinit(0, end - 4096)
+
+    def test_rejects_bad_length(self, armed_machine):
+        machine, slb_base, _, _ = armed_machine
+        machine.memory.write(slb_base, (0).to_bytes(2, "little") + (0).to_bytes(2, "little"))
+        with pytest.raises(SLBFormatError):
+            machine.skinit(0, slb_base)
+
+    def test_rejects_entry_outside_measured_region(self, armed_machine):
+        machine, slb_base, _, _ = armed_machine
+        header = (64).to_bytes(2, "little") + (100).to_bytes(2, "little")
+        machine.memory.write(slb_base, header)
+        with pytest.raises(SLBFormatError):
+            machine.skinit(0, slb_base)
+
+
+class TestSkinitProtections:
+    def test_protections_active_at_entry(self, armed_machine):
+        machine, slb_base, _, obs = armed_machine
+        result = machine.skinit(0, slb_base)
+        assert result == "entry-result"
+        assert obs["ran"]
+        assert obs["interrupts"] is False
+        assert obs["debug"] is False
+        assert obs["paging"] is False
+
+    def test_dev_blocks_dma_to_slb(self, armed_machine):
+        machine, slb_base, _, obs = armed_machine
+        nic = machine.attach_dma_device("nic")
+
+        def entry(machine_, core, base):
+            with pytest.raises(DMAProtectionError):
+                nic.dma_read(base, 64)
+            with pytest.raises(DMAProtectionError):
+                nic.dma_write(base + 60 * 1024, b"attack")
+            return True
+
+        image = make_minimal_slb(length=2048)
+        machine.memory.write(slb_base, image)
+        machine.register_executable(image, entry)
+        assert machine.skinit(0, slb_base) is True
+
+    def test_debugger_blocked_during_session(self, armed_machine):
+        machine, slb_base, _, _ = armed_machine
+
+        def entry(machine_, core, base):
+            with pytest.raises(DebugAccessError):
+                machine_.debugger.probe(base, 16)
+            return True
+
+        image = make_minimal_slb(length=1024)
+        machine.memory.write(slb_base, image)
+        machine.register_executable(image, entry)
+        assert machine.skinit(0, slb_base) is True
+
+
+class TestSkinitMeasurement:
+    def test_pcr17_is_reset_then_extended(self, armed_machine):
+        machine, slb_base, image, obs = armed_machine
+        machine.tpm.pcrs.extend(17, b"\xaa" * 20)  # pre-session garbage
+        machine.skinit(0, slb_base)
+        measured = image[:4096]
+        expected = sha1(b"\x00" * 20 + sha1(measured))
+        assert obs["pcr17"] == expected
+
+    def test_measurement_covers_only_declared_length(self, armed_machine):
+        machine, slb_base, image, obs = armed_machine
+        # Mutate a byte beyond the measured length: PCR 17 is unchanged,
+        # which is exactly why the optimization stub must hash the rest.
+        machine.memory.write(slb_base + 5000, b"\xff")
+        machine.skinit(0, slb_base)
+        expected = sha1(b"\x00" * 20 + sha1(image[:4096]))
+        assert obs["pcr17"] == expected
+
+    def test_tampered_measured_bytes_change_dispatch(self, armed_machine):
+        machine, slb_base, _, _ = armed_machine
+        machine.memory.write(slb_base + 100, b"\xde\xad")
+        # The tampered image measures differently; no executable is
+        # registered for it, which the simulation reports as an error
+        # (real hardware would run the tampered code, but PCR 17 would
+        # still expose it to any verifier).
+        with pytest.raises(SkinitError, match="no executable"):
+            machine.skinit(0, slb_base)
+
+    def test_skinit_cost_scales_with_measured_length(self):
+        costs = {}
+        for length in (1024, 32 * 1024):
+            machine = Machine(seed=44)
+            for ap in machine.cpu.aps:
+                ap.halted = True
+            machine.apic.broadcast_init_ipi()
+            image = make_minimal_slb(length=length)
+            machine.memory.write(0x100000, image)
+            machine.register_executable(image, lambda *a: None)
+            before = machine.clock.now()
+            machine.skinit(0, 0x100000)
+            costs[length] = machine.clock.now() - before
+        assert costs[32 * 1024] > costs[1024] * 5
+
+
+class TestMachineAssembly:
+    def test_reboot_restores_cpu_state(self):
+        machine = Machine(seed=45)
+        machine.cpu.bsp.interrupts_enabled = False
+        machine.cpu.bsp.debug_access_enabled = False
+        machine.dev.protect_range(0, 1 << 16)
+        machine.reboot()
+        assert machine.cpu.bsp.interrupts_enabled
+        assert machine.cpu.bsp.debug_access_enabled
+        assert len(machine.dev) == 0
+
+    def test_reboot_does_not_clear_memory(self):
+        """Cold-boot remanence: memory survives reboot, which is why the
+        SLB Core must erase secrets itself."""
+        machine = Machine(seed=46)
+        machine.memory.write(0x5000, b"remanent-secret")
+        machine.reboot()
+        assert machine.memory.read(0x5000, 15) == b"remanent-secret"
+
+    def test_charge_host_sha1(self):
+        machine = Machine(seed=47)
+        before = machine.clock.now()
+        machine.charge_host_sha1(2820 * 1024)
+        assert machine.clock.now() - before == pytest.approx(22.0, abs=0.1)
+
+    def test_register_executable_keys_on_measured_prefix(self):
+        machine = Machine(seed=48)
+        image = make_minimal_slb(length=512)
+        measurement = machine.register_executable(image, lambda *a: "x")
+        assert measurement == sha1(image[:512])
+        assert machine.lookup_executable(measurement) is not None
+        assert machine.lookup_executable(b"\x00" * 20) is None

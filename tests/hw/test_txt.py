@@ -1,0 +1,159 @@
+"""Intel TXT (GETSEC[SENTER]) tests — the §2.4 'functions analogously'
+claim, with the TXT-specific differences."""
+
+import pytest
+
+from repro.crypto.sha1 import sha1
+from repro.errors import SkinitError
+from repro.hw.machine import Machine
+from repro.hw.txt import ACM_PCR, IntelACMAuthority, MLE_PCR, SINITModule
+
+
+@pytest.fixture
+def txt_machine():
+    authority = IntelACMAuthority()
+    machine = Machine(seed=84, intel_acm_authority=authority)
+    for ap in machine.cpu.aps:
+        ap.halted = True
+    machine.apic.broadcast_init_ipi()
+    return machine, authority
+
+
+def install_mle(machine, length=2048):
+    header = length.to_bytes(2, "little") + (4).to_bytes(2, "little")
+    image = (header + bytes((i * 11) & 0xFF for i in range(length - 4))).ljust(
+        64 * 1024, b"\x00"
+    )
+    base = 0x200000
+    machine.memory.write(base, image)
+    observations = {}
+
+    def entry(machine_, core, mle_base):
+        observations["pcr17"] = machine_.tpm.pcrs.read(ACM_PCR)
+        observations["pcr18"] = machine_.tpm.pcrs.read(MLE_PCR)
+        observations["interrupts"] = core.interrupts_enabled
+        return "mle-ran"
+
+    machine.register_executable(image, entry)
+    return base, image, observations
+
+
+class TestSENTERLaunch:
+    def test_launch_with_signed_acm(self, txt_machine):
+        machine, authority = txt_machine
+        acm = authority.sign_acm(b"sinit-code-v1" * 100)
+        base, image, obs = install_mle(machine)
+        assert machine.senter(0, acm, base) == "mle-ran"
+        assert obs["interrupts"] is False
+
+    def test_acm_measured_into_pcr17(self, txt_machine):
+        machine, authority = txt_machine
+        acm = authority.sign_acm(b"sinit-code-v1" * 100)
+        base, image, obs = install_mle(machine)
+        machine.senter(0, acm, base)
+        assert obs["pcr17"] == sha1(b"\x00" * 20 + acm.measurement)
+
+    def test_mle_measured_into_pcr18(self, txt_machine):
+        machine, authority = txt_machine
+        acm = authority.sign_acm(b"sinit")
+        base, image, obs = install_mle(machine)
+        machine.senter(0, acm, base)
+        assert obs["pcr18"] == sha1(b"\x00" * 20 + sha1(image[:2048]))
+
+    def test_two_register_identity_vs_svm_single(self, txt_machine):
+        """TXT splits identity across PCRs 17 (launch env) and 18 (code);
+        SVM puts everything in 17 — a verifier must know which."""
+        machine, authority = txt_machine
+        acm = authority.sign_acm(b"sinit")
+        base, image, obs = install_mle(machine)
+        machine.senter(0, acm, base)
+        assert obs["pcr17"] != obs["pcr18"]
+
+
+class TestACMAuthentication:
+    def test_unsigned_acm_rejected(self, txt_machine):
+        machine, authority = txt_machine
+        rogue = SINITModule(code=b"evil-sinit", signature=b"\x00" * 64,
+                            signer=authority.public_key)
+        base, _, _ = install_mle(machine)
+        with pytest.raises(SkinitError, match="ACM signature"):
+            machine.senter(0, rogue, base)
+
+    def test_foreign_authority_rejected(self, txt_machine):
+        machine, _ = txt_machine
+        other = IntelACMAuthority(seed=0xBAD)
+        acm = other.sign_acm(b"sinit-from-elsewhere")
+        base, _, _ = install_mle(machine)
+        with pytest.raises(SkinitError, match="ACM signature"):
+            machine.senter(0, acm, base)
+
+    def test_tampered_acm_code_rejected(self, txt_machine):
+        machine, authority = txt_machine
+        acm = authority.sign_acm(b"sinit-genuine")
+        tampered = SINITModule(code=b"sinit-Genuine", signature=acm.signature,
+                               signer=acm.signer)
+        base, _, _ = install_mle(machine)
+        with pytest.raises(SkinitError, match="ACM signature"):
+            machine.senter(0, tampered, base)
+
+    def test_machine_without_txt_refuses(self):
+        machine = Machine(seed=85)  # no ACM authority
+        for ap in machine.cpu.aps:
+            ap.halted = True
+        machine.apic.broadcast_init_ipi()
+        authority = IntelACMAuthority()
+        acm = authority.sign_acm(b"sinit")
+        machine.memory.write(0x200000, (64).to_bytes(2, "little") + (4).to_bytes(2, "little"))
+        with pytest.raises(SkinitError, match="no TXT support"):
+            machine.senter(0, acm, 0x200000)
+
+
+class TestSENTERPreconditions:
+    def test_requires_bsp(self, txt_machine):
+        machine, authority = txt_machine
+        acm = authority.sign_acm(b"s")
+        with pytest.raises(SkinitError):
+            machine.senter(1, acm, 0x200000)
+
+    def test_requires_quiesced_aps(self):
+        authority = IntelACMAuthority()
+        machine = Machine(seed=86, intel_acm_authority=authority)
+        acm = authority.sign_acm(b"s")
+        base, _, _ = install_mle(machine)
+        with pytest.raises(SkinitError, match="rendezvous"):
+            machine.senter(0, acm, base)
+
+    def test_dev_protects_mle(self, txt_machine):
+        machine, authority = txt_machine
+        acm = authority.sign_acm(b"s")
+        nic = machine.attach_dma_device("nic")
+        base, image, _ = install_mle(machine)
+
+        def entry(machine_, core, mle_base):
+            from repro.errors import DMAProtectionError
+
+            with pytest.raises(DMAProtectionError):
+                nic.dma_read(mle_base, 16)
+            return True
+
+        machine.register_executable(image, entry)
+        assert machine.senter(0, acm, base) is True
+
+    def test_cost_includes_acm_and_mle(self, txt_machine):
+        machine, authority = txt_machine
+        small = authority.sign_acm(b"s" * 100)
+        big = authority.sign_acm(b"s" * 20000)
+        base, image, _ = install_mle(machine)
+        t0 = machine.clock.now()
+        machine.senter(0, small, base)
+        small_cost = machine.clock.now() - t0
+        # Reset state for a second launch.
+        machine.reboot()
+        for ap in machine.cpu.aps:
+            ap.halted = True
+        machine.apic.broadcast_init_ipi()
+        machine.memory.write(base, image)
+        t0 = machine.clock.now()
+        machine.senter(0, big, base)
+        big_cost = machine.clock.now() - t0
+        assert big_cost > small_cost + 40.0  # ~20 KB more streamed to the TPM

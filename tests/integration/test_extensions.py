@@ -1,0 +1,180 @@
+"""Tests for the reproduction's paper-motivated extensions: NV-backed
+replay counters, multicore isolation, and Flicker-aware I/O."""
+
+import pytest
+
+from repro.core import FlickerPlatform, PAL
+from repro.core.sealed_storage import ReplayProtectedStorage, VersionedBlob
+from repro.errors import PALRuntimeError, TPMPolicyError
+from repro.osim.storage import BlockDevice, FileStore
+
+OWNER_AUTH = b"\x0e" * 20
+NV_INDEX = 0x4653  # 'FS'
+
+
+class NVReplayPAL(PAL):
+    """Figure 4 over the NV-space counter backend (§4.3.2 option two).
+
+    Commands: 0 = create NV counter + seal v1; 1 = reseal; 2 = unseal.
+    """
+
+    name = "nv-replay"
+    modules = ("tpm_utils",)
+
+    def run(self, ctx):
+        command = ctx.inputs[0]
+        payload = ctx.inputs[1:]
+        if command == 0:
+            storage = ReplayProtectedStorage.create_nv(
+                ctx.tpm, OWNER_AUTH, NV_INDEX, ctx.self_pcr17
+            )
+            ctx.write_output(storage.seal(payload, ctx.self_pcr17).encode())
+        elif command == 1:
+            storage = ReplayProtectedStorage.attach_nv(ctx.tpm, NV_INDEX)
+            ctx.write_output(storage.seal(payload, ctx.self_pcr17).encode())
+        else:
+            versioned = VersionedBlob.decode(payload)
+            storage = ReplayProtectedStorage.attach_nv(ctx.tpm, NV_INDEX)
+            ctx.write_output(storage.unseal(versioned))
+
+
+@pytest.fixture
+def owned_platform():
+    platform = FlickerPlatform(seed=808)
+    platform.machine.tpm.take_ownership(OWNER_AUTH)
+    return platform
+
+
+class TestNVBackedReplayProtection:
+    def test_roundtrip(self, owned_platform):
+        pal = NVReplayPAL()
+        v1 = owned_platform.execute_pal(pal, inputs=b"\x00" + b"state-v1")
+        out = owned_platform.execute_pal(pal, inputs=b"\x02" + v1.outputs)
+        assert out.outputs == b"state-v1"
+
+    def test_stale_blob_rejected(self, owned_platform):
+        pal = NVReplayPAL()
+        v1 = owned_platform.execute_pal(pal, inputs=b"\x00" + b"state-v1")
+        owned_platform.execute_pal(pal, inputs=b"\x01" + b"state-v2")
+        with pytest.raises(PALRuntimeError, match="replay"):
+            owned_platform.execute_pal(pal, inputs=b"\x02" + v1.outputs)
+
+    def test_os_cannot_touch_the_nv_counter(self, owned_platform):
+        """The NV space is PCR-gated to the PAL: the OS can neither read
+        nor roll back the counter (§4.3.2's whole point)."""
+        pal = NVReplayPAL()
+        owned_platform.execute_pal(pal, inputs=b"\x00" + b"s")
+        driver = owned_platform.tqd.driver
+        with pytest.raises(TPMPolicyError):
+            driver.nv_read(NV_INDEX)
+        with pytest.raises(TPMPolicyError):
+            driver.nv_write(NV_INDEX, (0).to_bytes(8, "big"))
+
+    def test_counter_survives_reboot(self, owned_platform):
+        pal = NVReplayPAL()
+        owned_platform.execute_pal(pal, inputs=b"\x00" + b"v1")
+        latest = owned_platform.execute_pal(pal, inputs=b"\x01" + b"v2").outputs
+        owned_platform.machine.reboot()
+        out = owned_platform.execute_pal(pal, inputs=b"\x02" + latest)
+        assert out.outputs == b"v2"
+
+
+class LongPAL(PAL):
+    name = "long-session"
+    modules = ()
+
+    def run(self, ctx):
+        ctx.charge(8000.0, "long-work")
+        ctx.write_output(b"done")
+
+
+class TestMulticoreIsolation:
+    """The §7.5 / [19] next-generation hardware recommendation."""
+
+    def test_aps_keep_running_during_session(self):
+        platform = FlickerPlatform(seed=809, multicore_isolation=True)
+        platform.kernel.spawn("bsp-proc")
+        ap_proc = platform.kernel.spawn("ap-proc")
+        ran = {}
+
+        class ProbePAL(PAL):
+            name = "mc-probe"
+            modules = ()
+
+            def run(self, ctx):
+                ap = platform.machine.cpu.cores[1]
+                ran["ap_halted"] = ap.halted
+                ran["ap_proc_core"] = ap_proc.core_id
+                ctx.write_output(b"x")
+
+        platform.execute_pal(ProbePAL())
+        assert ran["ap_halted"] is False
+        assert ran["ap_proc_core"] == 1  # never descheduled
+
+    def test_bsp_still_fully_protected(self):
+        platform = FlickerPlatform(seed=810, multicore_isolation=True)
+        seen = {}
+
+        class ProbePAL2(PAL):
+            name = "mc-probe2"
+            modules = ()
+
+            def run(self, ctx):
+                bsp = platform.machine.cpu.bsp
+                seen["interrupts"] = bsp.interrupts_enabled
+                seen["debug"] = bsp.debug_access_enabled
+                ctx.write_output(b"x")
+
+        platform.execute_pal(ProbePAL2())
+        assert seen == {"interrupts": False, "debug": False}
+
+    def test_attestation_unaffected(self):
+        platform = FlickerPlatform(seed=811, multicore_isolation=True)
+        nonce = b"\x31" * 20
+
+        class AttestedPAL(PAL):
+            name = "mc-attested"
+            modules = ()
+
+            def run(self, ctx):
+                ctx.write_output(b"mc")
+
+        session = platform.execute_pal(AttestedPAL(), nonce=nonce)
+        attestation = platform.attest(nonce, session)
+        assert platform.verifier().verify(attestation, session.image, nonce).ok
+
+    def test_kernel_build_unaffected_even_at_30s_period(self):
+        from repro.apps.rootkit_detector import simulate_kernel_build
+
+        isolated = FlickerPlatform(seed=812, multicore_isolation=True)
+        mean_ms, _ = simulate_kernel_build(isolated, detection_period_s=30.0,
+                                           noise_sigma_ms=0.0)
+        assert mean_ms == isolated.machine.profile.host.kernel_build_ms
+
+
+class TestFlickerAwareIO:
+    def test_long_sessions_safe_with_aware_drivers(self, platform):
+        """§7.5's fix: quiescing devices before each session removes the
+        timeout hazard even for sessions far beyond the device timeout."""
+        machine = platform.machine
+        src = BlockDevice(machine, "disk-a")
+        dst = BlockDevice(machine, "disk-b")
+        store = FileStore(machine)
+        src.store_file("f", b"\x5a" * (256 * 1024))
+
+        store.copy(platform.kernel, src, "f", dst, "f",
+                   suspension_cb=lambda copied: 120_000.0,  # 2-minute session
+                   flicker_aware=True)
+        assert src.io_errors == [] and dst.io_errors == []
+        assert dst.read_file("f") == b"\x5a" * (256 * 1024)
+
+    def test_same_sessions_fail_without_awareness(self, platform):
+        machine = platform.machine
+        src = BlockDevice(machine, "disk-c")
+        dst = BlockDevice(machine, "disk-d")
+        store = FileStore(machine)
+        src.store_file("f", b"\x5b" * (256 * 1024))
+        store.copy(platform.kernel, src, "f", dst, "f",
+                   suspension_cb=lambda copied: 120_000.0,
+                   flicker_aware=False)
+        assert src.io_errors and dst.io_errors

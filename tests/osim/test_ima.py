@@ -1,0 +1,100 @@
+"""IMA trusted-boot baseline tests (the §2.1/§8 comparison target)."""
+
+import pytest
+
+from repro.osim.ima import (
+    IMA_PCR,
+    IMAVerifier,
+    IntegrityMeasurementArchitecture,
+)
+
+
+@pytest.fixture
+def ima(kernel):
+    arch = IntegrityMeasurementArchitecture(kernel)
+    arch.measured_boot()
+    return arch
+
+
+@pytest.fixture
+def verifier(ima, kernel):
+    v = IMAVerifier()
+    # The verifier learns the boot chain's known-good values.
+    for entry in ima.log:
+        v.known_good[entry.name] = entry.measurement
+    return v
+
+
+NONCE = b"\x21" * 20
+
+
+class TestMeasurement:
+    def test_boot_measures_firmware_chain(self, ima):
+        names = [e.name for e in ima.log]
+        assert "bios" in names and "bootloader" in names and "kernel" in names
+
+    def test_boot_only_once(self, ima):
+        with pytest.raises(RuntimeError):
+            ima.measured_boot()
+
+    def test_app_launch_extends_pcr10(self, ima, kernel):
+        before = kernel.machine.tpm.pcrs.read(IMA_PCR)
+        ima.measure_app_launch("httpd", b"httpd-binary-v2.2")
+        assert kernel.machine.tpm.pcrs.read(IMA_PCR) != before
+        assert ima.log[-1].name == "app:httpd"
+
+    def test_every_event_logged(self, ima):
+        start = len(ima.log)
+        ima.measure_app_launch("a", b"bin-a")
+        ima.measure_config("/etc/a.conf", b"conf")
+        ima.measure_module_load("fuse", b"fuse-text")
+        assert len(ima.log) == start + 3
+
+
+class TestVerification:
+    def test_clean_platform_verifies(self, ima, verifier, kernel):
+        quote, log = ima.attest(NONCE)
+        report = verifier.verify(quote, log, NONCE, kernel.machine.tpm.aik_public)
+        assert report.ok, report.failures
+
+    def test_unknown_app_breaks_trust(self, ima, verifier, kernel):
+        ima.measure_app_launch("mystery", b"unvetted-binary")
+        quote, log = ima.attest(NONCE)
+        report = verifier.verify(quote, log, NONCE, kernel.machine.tpm.aik_public)
+        assert not report.ok
+        assert "app:mystery" in report.unknown_entries
+
+    def test_truncated_log_detected(self, ima, verifier, kernel):
+        ima.measure_app_launch("hidden", b"malware")
+        quote, log = ima.attest(NONCE)
+        # The attacker drops the incriminating entry from the untrusted log.
+        censored = [e for e in log if e.name != "app:hidden"]
+        report = verifier.verify(quote, censored, NONCE, kernel.machine.tpm.aik_public)
+        assert not report.ok
+        assert any("reproduce PCR" in f for f in report.failures)
+
+    def test_verifier_burden_grows_with_platform(self, ima, verifier, kernel):
+        """§2.1: the verifier must assess everything loaded since boot."""
+        for i in range(25):
+            binary = f"app-binary-{i}".encode()
+            verifier.learn(f"app:app{i}", binary)
+            ima.measure_app_launch(f"app{i}", binary)
+        quote, log = ima.attest(NONCE)
+        report = verifier.verify(quote, log, NONCE, kernel.machine.tpm.aik_public)
+        assert report.ok
+        assert report.entries_evaluated >= 28  # boot chain + 25 apps
+
+    def test_attestation_leaks_software_inventory(self, ima, verifier, kernel):
+        """§3.2 'Meaningful Attestation': IMA reveals the whole inventory;
+        Flicker's event log names only the PAL session."""
+        ima.measure_app_launch("tax-software", b"bin1")
+        ima.measure_app_launch("dating-app", b"bin2")
+        quote, log = ima.attest(NONCE)
+        report = verifier.verify(quote, log, NONCE, kernel.machine.tpm.aik_public)
+        assert "app:tax-software" in report.disclosed_inventory
+        assert "app:dating-app" in report.disclosed_inventory
+
+    def test_nonce_replay_rejected(self, ima, verifier, kernel):
+        quote, log = ima.attest(NONCE)
+        report = verifier.verify(quote, log, b"\x99" * 20, kernel.machine.tpm.aik_public)
+        assert not report.ok

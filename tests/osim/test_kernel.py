@@ -1,0 +1,174 @@
+"""Untrusted-kernel tests: measured state, scheduler, hotplug, allocator."""
+
+import pytest
+
+from repro.errors import KernelPanic, MemoryFault, ModuleLoadError
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE
+from repro.osim.kernel import (
+    KERNEL_TEXT_BASE,
+    KERNEL_TEXT_BYTES,
+    SYSCALL_TABLE_BASE,
+    UntrustedKernel,
+)
+from repro.osim.modules import KernelModule
+
+
+class _TestModule(KernelModule):
+    name = "test-lkm"
+    text = b"\xaa\xbb" * 128
+
+    def __init__(self):
+        super().__init__()
+        self.load_count = 0
+        self.unload_count = 0
+
+    def on_load(self, kernel):
+        self.load_count += 1
+
+    def on_unload(self):
+        self.unload_count += 1
+
+
+class TestMeasuredState:
+    def test_kernel_text_laid_out_in_memory(self, kernel):
+        text = kernel.machine.memory.read(KERNEL_TEXT_BASE, KERNEL_TEXT_BYTES)
+        assert text == kernel._pristine_text
+
+    def test_syscall_table_entries_point_into_text(self, kernel):
+        table = kernel.machine.memory.read(SYSCALL_TABLE_BASE, kernel.syscall_table_bytes)
+        for i in range(0, len(table), 4):
+            handler = int.from_bytes(table[i : i + 4], "little")
+            assert KERNEL_TEXT_BASE <= handler < KERNEL_TEXT_BASE + KERNEL_TEXT_BYTES
+
+    def test_measured_regions_cover_text_and_table(self, kernel):
+        names = [name for name, _, _ in kernel.measured_regions()]
+        assert "kernel-text" in names
+        assert "syscall-table" in names
+
+    def test_loading_module_extends_measured_regions(self, kernel):
+        module = _TestModule()
+        kernel.load_module(module)
+        names = [name for name, _, _ in kernel.measured_regions()]
+        assert "module:test-lkm" in names
+        # And the module's text is actually in memory at the claimed spot.
+        _, addr, length = [r for r in kernel.measured_regions() if r[0] == "module:test-lkm"][0]
+        assert kernel.machine.memory.read(addr, length) == module.text
+
+    def test_pristine_measurement_includes_modules(self, kernel):
+        before = kernel.pristine_measurement_input()
+        kernel.load_module(_TestModule())
+        after = kernel.pristine_measurement_input()
+        assert before != after
+        assert after.endswith(_TestModule.text)
+
+    def test_kernel_text_is_deterministic_per_seed(self):
+        k1 = UntrustedKernel(Machine(seed=7))
+        k2 = UntrustedKernel(Machine(seed=7))
+        assert k1._pristine_text == k2._pristine_text
+        k3 = UntrustedKernel(Machine(seed=8))
+        assert k1._pristine_text != k3._pristine_text
+
+
+class TestModules:
+    def test_load_unload_lifecycle(self, kernel):
+        module = _TestModule()
+        kernel.load_module(module)
+        assert module.load_count == 1
+        assert module in kernel.loaded_modules()
+        kernel.unload_module(module)
+        assert module.unload_count == 1
+        assert module not in kernel.loaded_modules()
+
+    def test_double_load_rejected(self, kernel):
+        module = _TestModule()
+        kernel.load_module(module)
+        with pytest.raises(ModuleLoadError):
+            kernel.load_module(module)
+
+    def test_unload_unloaded_rejected(self, kernel):
+        with pytest.raises(ModuleLoadError):
+            kernel.unload_module(_TestModule())
+
+    def test_module_without_text_rejected(self, kernel):
+        class Empty(KernelModule):
+            name = "empty"
+            text = b""
+
+        with pytest.raises(ModuleLoadError):
+            kernel.load_module(Empty())
+
+
+class TestAllocator:
+    def test_kalloc_page_aligned(self, kernel):
+        addr = kernel.kalloc(100)
+        assert addr % PAGE_SIZE == 0
+
+    def test_kalloc_alignment_override(self, kernel):
+        addr = kernel.kalloc(100, align=64 * 1024)
+        assert addr % (64 * 1024) == 0
+
+    def test_kalloc_distinct_regions(self, kernel):
+        a = kernel.kalloc(PAGE_SIZE)
+        b = kernel.kalloc(PAGE_SIZE)
+        assert abs(a - b) >= PAGE_SIZE
+
+    def test_kalloc_rejects_nonpositive(self, kernel):
+        with pytest.raises(MemoryFault):
+            kernel.kalloc(0)
+
+    def test_kalloc_exhaustion_panics(self, kernel):
+        with pytest.raises(KernelPanic):
+            for _ in range(100):
+                kernel.kalloc(8 * 1024 * 1024)
+
+
+class TestScheduler:
+    def test_spawn_places_on_cores(self, kernel):
+        p1 = kernel.spawn("init")
+        p2 = kernel.spawn("sshd")
+        assert {p1.core_id, p2.core_id} == {0, 1}
+
+    def test_excess_processes_queue(self, kernel):
+        for i in range(2):
+            kernel.spawn(f"p{i}")
+        p3 = kernel.spawn("waiter")
+        assert p3.core_id is None
+
+    def test_exit_promotes_queued_process(self, kernel):
+        p1 = kernel.spawn("a")
+        kernel.spawn("b")
+        p3 = kernel.spawn("queued")
+        kernel.exit_process(p1.pid)
+        assert p3.core_id == p1.core_id
+
+    def test_exit_unknown_pid_panics(self, kernel):
+        with pytest.raises(KernelPanic):
+            kernel.exit_process(999)
+
+    def test_deschedule_aps_halts_and_queues(self, kernel):
+        kernel.spawn("on-bsp")
+        ap_proc = kernel.spawn("on-ap")
+        assert ap_proc.core_id == 1
+        kernel.deschedule_aps()
+        assert kernel.machine.cpu.cores[1].halted
+        assert ap_proc.core_id is None
+
+    def test_resume_aps_restores(self, kernel):
+        kernel.spawn("on-bsp")
+        ap_proc = kernel.spawn("on-ap")
+        kernel.deschedule_aps()
+        kernel.machine.apic.broadcast_init_ipi()
+        kernel.resume_aps()
+        ap_core = kernel.machine.cpu.cores[1]
+        assert not ap_core.halted
+        assert not ap_core.received_init_ipi
+        assert ap_proc.core_id == 1
+
+    def test_hotplug_enables_skinit_handshake(self, kernel):
+        kernel.spawn("busy-ap-process")
+        machine = kernel.machine
+        assert not machine.cpu.all_aps_quiesced()
+        kernel.deschedule_aps()
+        machine.apic.broadcast_init_ipi()
+        assert machine.cpu.all_aps_quiesced()

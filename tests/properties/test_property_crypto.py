@@ -1,0 +1,149 @@
+"""Property-based tests for the crypto substrate."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.hmac import constant_time_equal, hmac_sha1
+from repro.crypto.md5 import md5
+from repro.crypto.md5crypt import md5crypt, md5crypt_verify
+from repro.crypto.mpi import gcd, mod_inverse, mod_pow
+from repro.crypto.pkcs1 import pkcs1_decrypt, pkcs1_encrypt, pkcs1_sign_sha1, pkcs1_verify_sha1
+from repro.crypto.rc4 import RC4
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.crypto.sha1 import SHA1, sha1
+from repro.crypto.sha512 import sha512
+from repro.sim.rng import DeterministicRNG
+
+# One module-scoped keypair: hypothesis drives many examples through it.
+KEYPAIR = generate_rsa_keypair(512, DeterministicRNG(404))
+
+
+class TestHashProperties:
+    @given(st.binary(max_size=2048))
+    def test_sha1_oracle(self, data):
+        assert sha1(data) == hashlib.sha1(data).digest()
+
+    @given(st.binary(max_size=2048))
+    def test_sha512_oracle(self, data):
+        assert sha512(data) == hashlib.sha512(data).digest()
+
+    @given(st.binary(max_size=2048))
+    def test_md5_oracle(self, data):
+        assert md5(data) == hashlib.md5(data).digest()
+
+    @given(st.binary(max_size=1024), st.integers(min_value=1, max_value=64))
+    def test_sha1_chunking_invariance(self, data, chunk):
+        h = SHA1()
+        for i in range(0, len(data), chunk):
+            h.update(data[i : i + chunk])
+        assert h.digest() == sha1(data)
+
+    @given(st.binary(min_size=0, max_size=128), st.binary(min_size=0, max_size=512))
+    def test_hmac_oracle(self, key, message):
+        import hmac as std_hmac
+
+        assert hmac_sha1(key, message) == std_hmac.new(key, message, hashlib.sha1).digest()
+
+
+class TestCipherProperties:
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_aes_block_roundtrip(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.binary(max_size=512),
+        st.binary(min_size=16, max_size=16),
+    )
+    def test_aes_cbc_roundtrip(self, key, plaintext, iv):
+        cipher = AES128(key)
+        assert cipher.decrypt_cbc(cipher.encrypt_cbc(plaintext, iv), iv) == plaintext
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=512))
+    def test_rc4_symmetry(self, key, data):
+        assert RC4(key).process(RC4(key).process(data)) == data
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=1, max_size=256))
+    def test_aes_ciphertext_differs_from_plaintext(self, key, plaintext):
+        ct = AES128(key).encrypt_cbc(plaintext, b"\x00" * 16)
+        assert ct != plaintext
+        assert len(ct) % 16 == 0
+        assert len(ct) >= len(plaintext)
+
+
+class TestNumberTheoryProperties:
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=1, max_value=10**9))
+    def test_mod_pow_oracle(self, base, exp, mod):
+        assert mod_pow(base, exp, mod) == pow(base, exp, mod)
+
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=1, max_value=10**9))
+    def test_gcd_divides_both(self, a, b):
+        g = gcd(a, b)
+        assert a % g == 0 and b % g == 0
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_mod_inverse_property(self, m):
+        # Pick an a coprime to m.
+        a = 1
+        for candidate in range(2, 200):
+            if gcd(candidate, m) == 1:
+                a = candidate
+                break
+        if a == 1:
+            return
+        assert (a * mod_inverse(a, m)) % m == 1
+
+
+class TestPKCS1Properties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.binary(max_size=53), st.integers(min_value=0, max_value=2**32))
+    def test_encrypt_decrypt_roundtrip(self, message, seed):
+        rng = DeterministicRNG(seed)
+        ct = pkcs1_encrypt(KEYPAIR.public, message, rng)
+        assert pkcs1_decrypt(KEYPAIR.private, ct) == message
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.binary(max_size=256))
+    def test_sign_verify_roundtrip(self, message):
+        sig = pkcs1_sign_sha1(KEYPAIR.private, message)
+        assert pkcs1_verify_sha1(KEYPAIR.public, message, sig)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.binary(min_size=1, max_size=256), st.binary(min_size=1, max_size=256))
+    def test_signature_does_not_transfer(self, m1, m2):
+        if m1 == m2:
+            return
+        sig = pkcs1_sign_sha1(KEYPAIR.private, m1)
+        assert not pkcs1_verify_sha1(KEYPAIR.public, m2, sig)
+
+
+SALT_ALPHABET = "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+class TestMD5CryptProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.binary(min_size=0, max_size=32),
+        st.text(alphabet=SALT_ALPHABET, min_size=1, max_size=8),
+    )
+    def test_verify_accepts_own_output(self, password, salt):
+        crypt_string = md5crypt(password, salt.encode("ascii"))
+        assert md5crypt_verify(password, crypt_string)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.binary(min_size=1, max_size=16), st.binary(min_size=1, max_size=16))
+    def test_different_passwords_different_hashes(self, p1, p2):
+        if p1 == p2:
+            return
+        assert md5crypt(p1, b"fixedsal") != md5crypt(p2, b"fixedsal")
+
+
+class TestConstantTimeEqual:
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_matches_builtin_equality(self, a, b):
+        assert constant_time_equal(a, b) == (a == b)

@@ -1,0 +1,173 @@
+"""Property-based tests for core system invariants: memory, heap, PCRs,
+DEV, and the SLB measurement chain."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.modules.memory_mgmt import PALHeap
+from repro.crypto.sha1 import sha1
+from repro.hw.dev import DeviceExclusionVector
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.tpm.pcr import PCRBank, simulate_extend_chain
+
+MEM_SIZE = 1 << 20
+
+
+class TestMemoryProperties:
+    @given(
+        st.integers(min_value=0, max_value=MEM_SIZE - 4096),
+        st.binary(min_size=1, max_size=4096),
+    )
+    def test_write_read_roundtrip(self, addr, data):
+        assume(addr + len(data) <= MEM_SIZE)
+        mem = PhysicalMemory(MEM_SIZE)
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+    @given(
+        st.integers(min_value=0, max_value=MEM_SIZE - 8192),
+        st.binary(min_size=1, max_size=4096),
+    )
+    def test_zeroize_erases_exactly_the_range(self, addr, data):
+        mem = PhysicalMemory(MEM_SIZE)
+        mem.write(addr, data)
+        mem.write(addr + len(data), b"\xee")  # sentinel just past the range
+        mem.zeroize(addr, len(data))
+        assert mem.is_zero(addr, len(data))
+        assert mem.read(addr + len(data), 1) == b"\xee"
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=MEM_SIZE - 64),
+        st.binary(min_size=1, max_size=64),
+    ), max_size=8))
+    def test_non_overlapping_writes_independent(self, writes):
+        mem = PhysicalMemory(MEM_SIZE)
+        placed = []
+        for addr, data in writes:
+            if any(addr < a + len(d) and a < addr + len(data) for a, d in placed):
+                continue
+            mem.write(addr, data)
+            placed.append((addr, data))
+        for addr, data in placed:
+            assert mem.read(addr, len(data)) == data
+
+
+class TestDEVProperties:
+    @given(
+        st.integers(min_value=0, max_value=MEM_SIZE - 1),
+        st.integers(min_value=1, max_value=128 * 1024),
+        st.integers(min_value=0, max_value=MEM_SIZE - 1),
+    )
+    def test_protection_is_page_complete(self, start, length, probe):
+        dev = DeviceExclusionVector()
+        dev.protect_range(start, length)
+        probe_page = probe // PAGE_SIZE
+        protected_pages = set(PhysicalMemory.page_range(start, length))
+        from repro.errors import DMAProtectionError
+
+        try:
+            dev.check_dma(probe, 1, "probe")
+            blocked = False
+        except DMAProtectionError:
+            blocked = True
+        assert blocked == (probe_page in protected_pages)
+
+    @given(st.integers(min_value=0, max_value=MEM_SIZE - 1),
+           st.integers(min_value=1, max_value=64 * 1024))
+    def test_unprotect_inverts_protect(self, start, length):
+        dev = DeviceExclusionVector()
+        dev.protect_range(start, length)
+        dev.unprotect_range(start, length)
+        assert len(dev) == 0
+
+
+class TestPCRProperties:
+    @given(st.lists(st.binary(min_size=20, max_size=20), min_size=1, max_size=10))
+    def test_extend_chain_equals_fold(self, measurements):
+        bank = PCRBank()
+        bank.dynamic_reset()
+        for m in measurements:
+            bank.extend(17, m)
+        assert bank.read(17) == simulate_extend_chain(b"\x00" * 20, measurements)
+
+    @given(st.lists(st.binary(min_size=20, max_size=20), min_size=2, max_size=6))
+    def test_prefix_chains_differ(self, measurements):
+        """Any strict prefix of an extend chain yields a different value —
+        PCRs commit to the *whole* history."""
+        full = simulate_extend_chain(b"\x00" * 20, measurements)
+        for cut in range(len(measurements)):
+            prefix = simulate_extend_chain(b"\x00" * 20, measurements[:cut])
+            assert prefix != full
+
+    @given(st.binary(min_size=20, max_size=20), st.binary(min_size=20, max_size=20))
+    def test_extend_never_returns_to_reset_value(self, m1, m2):
+        bank = PCRBank()
+        bank.dynamic_reset()
+        bank.extend(17, m1)
+        assert bank.read(17) != b"\x00" * 20
+        bank.extend(17, m2)
+        assert bank.read(17) != b"\x00" * 20
+
+
+class TestHeapProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=512)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=15)),
+        ),
+        max_size=30,
+    ))
+    def test_allocator_never_corrupts(self, operations):
+        """Random malloc/free interleavings keep every live allocation's
+        contents intact and the heap walkable."""
+        mem = PhysicalMemory(MEM_SIZE)
+        heap = PALHeap(mem, base=0x10000, size=32 * 1024)
+        live = {}  # addr -> fill byte
+        from repro.errors import PALRuntimeError
+
+        fill = 1
+        for op, arg in operations:
+            if op == "malloc":
+                try:
+                    addr = heap.malloc(arg)
+                except PALRuntimeError:
+                    continue
+                mem.write(addr, bytes([fill % 256]) * arg)
+                live[addr] = (fill % 256, arg)
+                fill += 1
+            else:
+                if not live:
+                    continue
+                addr = sorted(live)[arg % len(live)]
+                byte, size = live.pop(addr)
+                assert mem.read(addr, size) == bytes([byte]) * size
+                heap.free(addr)
+        for addr, (byte, size) in live.items():
+            assert mem.read(addr, size) == bytes([byte]) * size
+        # The heap remains structurally sound.
+        assert heap.allocated_blocks() == len(live)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.integers(min_value=1, max_value=256), min_size=1, max_size=12))
+    def test_free_all_restores_capacity(self, sizes):
+        mem = PhysicalMemory(MEM_SIZE)
+        heap = PALHeap(mem, base=0x10000, size=32 * 1024)
+        capacity = heap.free_bytes()
+        from repro.errors import PALRuntimeError
+
+        addrs = []
+        for size in sizes:
+            try:
+                addrs.append(heap.malloc(size))
+            except PALRuntimeError:
+                break
+        for addr in addrs:
+            heap.free(addr)
+        assert heap.free_bytes() == capacity
+
+
+class TestMeasurementProperties:
+    @given(st.binary(min_size=4, max_size=512), st.binary(min_size=4, max_size=512))
+    def test_distinct_code_distinct_measurement(self, code1, code2):
+        assume(code1 != code2)
+        assert sha1(code1) != sha1(code2)

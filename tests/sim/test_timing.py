@@ -1,0 +1,102 @@
+"""Timing-profile calibration tests: the constants must reproduce the
+paper's microbenchmarks (within rounding)."""
+
+import pytest
+
+from repro.sim.timing import (
+    BROADCOM_BCM0102,
+    DEFAULT_PROFILE,
+    HOST_HP_DC5750,
+    INFINEON_1_2,
+    INFINEON_PROFILE,
+)
+
+
+class TestSkinitModel:
+    """Table 2: SKINIT latency vs SLB size."""
+
+    @pytest.mark.parametrize(
+        "kb,expected_ms,tolerance",
+        [(0, 0.0, 1.0), (4, 11.9, 0.8), (16, 45.0, 1.0), (32, 89.2, 1.0), (64, 177.5, 1.0)],
+    )
+    def test_table2_points(self, kb, expected_ms, tolerance):
+        assert BROADCOM_BCM0102.skinit_ms(kb * 1024) == pytest.approx(
+            expected_ms, abs=tolerance
+        )
+
+    def test_linear_growth(self):
+        t = BROADCOM_BCM0102
+        delta1 = t.skinit_ms(32 * 1024) - t.skinit_ms(16 * 1024)
+        delta2 = t.skinit_ms(64 * 1024) - t.skinit_ms(48 * 1024)
+        assert delta1 == pytest.approx(delta2)
+
+    def test_optimized_stub_lands_near_14ms(self):
+        """§7.2: the 4736-byte stub SKINITs in ≈14 ms."""
+        assert BROADCOM_BCM0102.skinit_ms(4736) == pytest.approx(14.0, abs=1.0)
+
+
+class TestTPMCommandModel:
+    def test_table1_constants(self):
+        assert BROADCOM_BCM0102.quote_ms == pytest.approx(972.7)
+        assert BROADCOM_BCM0102.extend_ms == pytest.approx(1.2)
+
+    def test_table4_unseal(self):
+        """Table 4: Unseal of the 20-byte distributed-computing key."""
+        assert BROADCOM_BCM0102.unseal_ms(20) == pytest.approx(898.3, abs=0.5)
+
+    def test_fig9_seal(self):
+        assert BROADCOM_BCM0102.seal_ms(0) == pytest.approx(10.2)
+
+    def test_fig9_unseal_larger_blob(self):
+        """Figure 9(b): Unseal of the SSH private key is slightly more
+        expensive than the 20-byte key unseal (905.4 vs 898.3 ms)."""
+        small = BROADCOM_BCM0102.unseal_ms(20)
+        larger = BROADCOM_BCM0102.unseal_ms(300)
+        assert larger > small
+        assert larger == pytest.approx(905.4, abs=2.0)
+
+    def test_getrandom_128_bytes(self):
+        """§7.4.1: TPM_GetRandom of 128 bytes averages 1.3 ms."""
+        assert BROADCOM_BCM0102.getrandom_ms(128) == pytest.approx(1.3, abs=0.1)
+
+    def test_infineon_is_faster(self):
+        """§7.2/§7.4.1: Infineon quotes in <331 ms, unseals in <391 ms."""
+        assert INFINEON_1_2.quote_ms == pytest.approx(331.0)
+        assert INFINEON_1_2.unseal_ms(20) == pytest.approx(391.0, abs=1.0)
+        assert INFINEON_1_2.quote_ms < BROADCOM_BCM0102.quote_ms
+        assert INFINEON_1_2.unseal_ms(100) < BROADCOM_BCM0102.unseal_ms(100)
+
+
+class TestHostModel:
+    def test_kernel_hash_matches_table1(self):
+        """Table 1: hashing the kernel's ~2820 KB takes 22.0 ms."""
+        assert HOST_HP_DC5750.sha1_ms_per_kb * 2820 == pytest.approx(22.0, abs=0.1)
+
+    def test_rsa_keygen_matches_fig9(self):
+        assert HOST_HP_DC5750.rsa1024_keygen_ms == pytest.approx(185.7)
+
+    def test_rsa_private_op_matches_fig9(self):
+        assert HOST_HP_DC5750.rsa1024_private_op_ms == pytest.approx(4.6)
+
+    def test_network_matches_section71(self):
+        """§7.1: 12 hops, average ping 9.45 ms."""
+        assert HOST_HP_DC5750.network_hops == 12
+        assert 2 * HOST_HP_DC5750.network_one_way_ms == pytest.approx(9.45)
+
+    def test_kernel_build_matches_table3(self):
+        """Table 3: baseline kernel build of 7 m 22.6 s."""
+        assert HOST_HP_DC5750.kernel_build_ms == pytest.approx(442_600.0)
+
+
+class TestProfileComposition:
+    def test_default_profile_uses_broadcom(self):
+        assert DEFAULT_PROFILE.tpm is BROADCOM_BCM0102
+        assert DEFAULT_PROFILE.host is HOST_HP_DC5750
+
+    def test_with_tpm_swaps_chip_only(self):
+        swapped = DEFAULT_PROFILE.with_tpm(INFINEON_1_2)
+        assert swapped.tpm is INFINEON_1_2
+        assert swapped.host is DEFAULT_PROFILE.host
+
+    def test_infineon_profile(self):
+        assert INFINEON_PROFILE.tpm is INFINEON_1_2

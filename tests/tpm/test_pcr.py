@@ -1,0 +1,104 @@
+"""PCR bank semantics (paper §2.1, §2.3)."""
+
+import pytest
+
+from repro.crypto.sha1 import sha1
+from repro.errors import TPMError
+from repro.tpm.pcr import (
+    DYNAMIC_PCRS,
+    PCR_COUNT,
+    PCR_DYNAMIC_BOOT_VALUE,
+    PCRBank,
+    extend_value,
+    simulate_extend_chain,
+)
+
+
+class TestExtendValue:
+    def test_matches_specification(self):
+        old = b"\x00" * 20
+        m = sha1(b"measurement")
+        assert extend_value(old, m) == sha1(old + m)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(TPMError):
+            extend_value(b"\x00" * 19, b"\x00" * 20)
+        with pytest.raises(TPMError):
+            extend_value(b"\x00" * 20, b"short")
+
+    def test_chain_simulation(self):
+        measurements = [sha1(bytes([i])) for i in range(5)]
+        value = b"\x00" * 20
+        for m in measurements:
+            value = extend_value(value, m)
+        assert simulate_extend_chain(b"\x00" * 20, measurements) == value
+
+    def test_order_matters(self):
+        m1, m2 = sha1(b"1"), sha1(b"2")
+        assert simulate_extend_chain(b"\x00" * 20, [m1, m2]) != simulate_extend_chain(
+            b"\x00" * 20, [m2, m1]
+        )
+
+
+class TestPCRBank:
+    def test_boot_values(self):
+        bank = PCRBank()
+        for i in range(PCR_COUNT):
+            if i in DYNAMIC_PCRS:
+                assert bank.read(i) == b"\xff" * 20, f"PCR {i}"
+            else:
+                assert bank.read(i) == b"\x00" * 20, f"PCR {i}"
+
+    def test_dynamic_pcrs_are_17_to_23(self):
+        assert DYNAMIC_PCRS == tuple(range(17, 24))
+
+    def test_dynamic_reset_zeroes_only_dynamic(self):
+        bank = PCRBank()
+        bank.extend(0, sha1(b"static"))
+        static_value = bank.read(0)
+        bank.dynamic_reset()
+        assert bank.read(17) == b"\x00" * 20
+        assert bank.read(23) == b"\x00" * 20
+        assert bank.read(0) == static_value
+
+    def test_reboot_distinguishable_from_dynamic_reset(self):
+        """§2.3: a verifier can tell a reboot (-1) from SKINIT's reset (0)."""
+        bank = PCRBank()
+        bank.dynamic_reset()
+        assert bank.read(17) == b"\x00" * 20
+        bank.reboot()
+        assert bank.read(17) == PCR_DYNAMIC_BOOT_VALUE
+
+    def test_extend_is_cumulative_and_irreversible(self):
+        bank = PCRBank()
+        bank.dynamic_reset()
+        v1 = bank.extend(17, sha1(b"first"))
+        v2 = bank.extend(17, sha1(b"second"))
+        assert v1 != v2
+        assert bank.read(17) == v2
+        # No sequence of extends can return PCR 17 to its post-reset value
+        # other than finding a SHA-1 preimage; spot-check a few extends.
+        for i in range(16):
+            bank.extend(17, sha1(bytes([i])))
+            assert bank.read(17) != b"\x00" * 20
+
+    def test_extend_matches_chain_helper(self):
+        bank = PCRBank()
+        bank.dynamic_reset()
+        ms = [sha1(b"a"), sha1(b"b"), sha1(b"c")]
+        for m in ms:
+            bank.extend(17, m)
+        assert bank.read(17) == simulate_extend_chain(b"\x00" * 20, ms)
+
+    def test_index_bounds(self):
+        bank = PCRBank()
+        with pytest.raises(TPMError):
+            bank.read(24)
+        with pytest.raises(TPMError):
+            bank.extend(-1, sha1(b"x"))
+
+    def test_snapshot(self):
+        bank = PCRBank()
+        snap = bank.snapshot([0, 17])
+        assert set(snap) == {0, 17}
+        assert snap[17] == b"\xff" * 20

@@ -1,0 +1,144 @@
+"""PCR composites, quote structures, sessions, and Privacy CA tests."""
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import AttestationError, TPMAuthError, TPMError
+from repro.sim.rng import DeterministicRNG
+from repro.tpm.privacy_ca import PrivacyCA
+from repro.tpm.sessions import AuthSession, WELL_KNOWN_AUTH
+from repro.tpm.structures import PCRComposite, Quote, SealedBlob
+
+
+class TestPCRComposite:
+    def test_encoding_is_deterministic_and_sorted(self):
+        a = PCRComposite.from_mapping({18: b"\x02" * 20, 17: b"\x01" * 20})
+        b = PCRComposite.from_mapping({17: b"\x01" * 20, 18: b"\x02" * 20})
+        assert a.encode() == b.encode()
+        assert a.digest() == b.digest()
+
+    def test_different_values_different_digest(self):
+        a = PCRComposite.from_mapping({17: b"\x01" * 20})
+        b = PCRComposite.from_mapping({17: b"\x02" * 20})
+        assert a.digest() != b.digest()
+
+    def test_different_selection_different_digest(self):
+        a = PCRComposite.from_mapping({17: b"\x01" * 20})
+        b = PCRComposite.from_mapping({18: b"\x01" * 20})
+        assert a.digest() != b.digest()
+
+    def test_bad_value_length_rejected(self):
+        with pytest.raises(TPMError):
+            PCRComposite.from_mapping({17: b"short"})
+
+    def test_as_dict_roundtrip(self):
+        mapping = {17: b"\x0a" * 20, 23: b"\x0b" * 20}
+        assert PCRComposite.from_mapping(mapping).as_dict() == mapping
+
+
+class TestQuoteStructure:
+    def test_quote_info_requires_20_byte_nonce(self):
+        composite = PCRComposite.from_mapping({17: b"\x00" * 20})
+        with pytest.raises(TPMError):
+            Quote.quote_info(composite, b"short-nonce")
+
+    def test_verify_rejects_foreign_aik(self):
+        from repro.crypto.pkcs1 import pkcs1_sign_sha1
+
+        keys = generate_rsa_keypair(512, DeterministicRNG(21))
+        other = generate_rsa_keypair(512, DeterministicRNG(22))
+        composite = PCRComposite.from_mapping({17: b"\x00" * 20})
+        nonce = b"\x05" * 20
+        signature = pkcs1_sign_sha1(keys.private, Quote.quote_info(composite, nonce))
+        quote = Quote(composite=composite, nonce=nonce, signature=signature,
+                      aik_public=keys.public)
+        assert quote.verify(keys.public)
+        assert not quote.verify(other.public)
+
+
+class TestSealedBlobEncoding:
+    def test_roundtrip(self):
+        blob = SealedBlob(ciphertext=b"\x01" * 48, mac=b"\x02" * 20, bound_pcrs=(17, 18))
+        assert SealedBlob.decode(blob.encode()) == blob
+
+    def test_roundtrip_no_pcrs(self):
+        blob = SealedBlob(ciphertext=b"\x03" * 32, mac=b"\x04" * 20, bound_pcrs=())
+        assert SealedBlob.decode(blob.encode()) == blob
+
+    def test_truncated_rejected(self):
+        with pytest.raises(TPMError):
+            SealedBlob.decode(b"\x00\x01")
+
+    def test_bad_mac_length_rejected(self):
+        blob = SealedBlob(ciphertext=b"\x01" * 16, mac=b"\x02" * 20, bound_pcrs=())
+        with pytest.raises(TPMError):
+            SealedBlob.decode(blob.encode()[:-1])
+
+
+class TestAuthSession:
+    def test_proof_verifies_and_nonce_rolls(self):
+        session = AuthSession(1, "OIAP", nonce_even=b"\x11" * 20)
+        digest, odd = b"\x22" * 20, b"\x33" * 20
+        proof = session.compute_proof(WELL_KNOWN_AUTH, digest, odd)
+        before = session.nonce_even
+        session.verify_proof(WELL_KNOWN_AUTH, digest, odd, proof)
+        assert session.nonce_even != before
+
+    def test_bad_proof_closes_session(self):
+        session = AuthSession(1, "OIAP", nonce_even=b"\x11" * 20)
+        with pytest.raises(TPMAuthError):
+            session.verify_proof(WELL_KNOWN_AUTH, b"\x00" * 20, b"\x01" * 20, b"\xff" * 20)
+        assert session.closed
+        # Even a now-correct proof is refused on a closed session.
+        good = session.compute_proof(WELL_KNOWN_AUTH, b"\x00" * 20, b"\x01" * 20)
+        with pytest.raises(TPMAuthError):
+            session.verify_proof(WELL_KNOWN_AUTH, b"\x00" * 20, b"\x01" * 20, good)
+
+    def test_osap_uses_shared_secret(self):
+        shared = AuthSession.osap_shared_secret(b"\x0a" * 20, b"\x0b" * 20, b"\x0c" * 20)
+        session = AuthSession(2, "OSAP", nonce_even=b"\x0d" * 20, shared_secret=shared)
+        digest, odd = b"\x0e" * 20, b"\x0f" * 20
+        # Entity auth is *not* the proof key for OSAP; the shared secret is.
+        proof = session.compute_proof(b"\x0a" * 20, digest, odd)
+        import repro.crypto.hmac as hmac_mod
+
+        assert proof == hmac_mod.hmac_sha1(shared, digest + b"\x0d" * 20 + odd)
+
+
+class TestPrivacyCA:
+    @pytest.fixture
+    def actors(self):
+        rng = DeterministicRNG(31)
+        ca = PrivacyCA(rng)
+        tpm_ek = generate_rsa_keypair(512, rng.fork("ek"))
+        aik = generate_rsa_keypair(512, rng.fork("aik"))
+        return ca, tpm_ek, aik
+
+    def test_issue_and_verify(self, actors):
+        ca, ek, aik = actors
+        ca.register_ek(ek.public)
+        cert = ca.issue(aik.public, ek.public, "test-platform")
+        assert cert.verify(ca.public_key)
+        assert cert.aik_public == aik.public
+        assert cert.platform_label == "test-platform"
+
+    def test_unregistered_ek_refused(self, actors):
+        ca, ek, aik = actors
+        with pytest.raises(AttestationError):
+            ca.issue(aik.public, ek.public, "unknown-platform")
+
+    def test_cert_from_wrong_issuer_rejected(self, actors):
+        ca, ek, aik = actors
+        ca.register_ek(ek.public)
+        cert = ca.issue(aik.public, ek.public, "p")
+        rogue = PrivacyCA(DeterministicRNG(32))
+        assert not cert.verify(rogue.public_key)
+
+    def test_tampered_cert_rejected(self, actors):
+        from dataclasses import replace
+
+        ca, ek, aik = actors
+        ca.register_ek(ek.public)
+        cert = ca.issue(aik.public, ek.public, "p")
+        forged = replace(cert, platform_label="other-platform")
+        assert not forged.verify(ca.public_key)

@@ -1,0 +1,276 @@
+"""TPM device command tests: quote, seal/unseal, auth, NV, counters."""
+
+import pytest
+
+from repro.errors import (
+    TPMAuthError,
+    TPMError,
+    TPMLocalityError,
+    TPMNVError,
+    TPMPolicyError,
+)
+from repro.osim.tpm_driver import OSTPMDriver
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRNG
+from repro.sim.timing import BROADCOM_BCM0102
+from repro.sim.trace import EventTrace
+from repro.tpm.structures import SealedBlob
+from repro.tpm.tpm import LOCALITY_CPU, TPM, command_digest
+
+
+@pytest.fixture
+def tpm_setup():
+    clock = VirtualClock()
+    trace = EventTrace()
+    tpm = TPM(clock, trace, DeterministicRNG(77), BROADCOM_BCM0102, key_bits=512)
+    return tpm, clock, trace
+
+
+@pytest.fixture
+def driver(tpm_setup):
+    tpm, _, _ = tpm_setup
+    return OSTPMDriver(tpm.interface(0))
+
+
+class TestLocality:
+    def test_software_cannot_reset_dynamic_pcrs(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        for locality in range(4):
+            with pytest.raises(TPMLocalityError):
+                tpm.interface(locality).dynamic_pcr_reset()
+
+    def test_cpu_locality_resets(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        tpm.interface(LOCALITY_CPU).dynamic_pcr_reset()
+        assert tpm.pcrs.read(17) == b"\x00" * 20
+
+    def test_invalid_locality_rejected(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        with pytest.raises(TPMLocalityError):
+            tpm.interface(5)
+
+    def test_software_can_extend_pcr17(self, tpm_setup):
+        """§2.3: PCR 17 can be extended (not reset) by software."""
+        tpm, _, _ = tpm_setup
+        iface = tpm.interface(0)
+        before = iface.pcr_read(17)
+        after = iface.pcr_extend(17, b"\x11" * 20)
+        assert after != before
+
+
+class TestQuote:
+    def test_quote_verifies(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        nonce = b"\x07" * 20
+        quote = driver.quote(nonce, [17])
+        assert quote.verify(tpm.aik_public)
+        assert quote.nonce == nonce
+        assert 17 in quote.composite.as_dict()
+
+    def test_quote_covers_live_pcr_values(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        driver.pcr_extend(17, b"\x22" * 20)
+        quote = driver.quote(b"\x01" * 20, [17])
+        assert quote.composite.as_dict()[17] == tpm.pcrs.read(17)
+
+    def test_quote_signature_binds_nonce(self, tpm_setup, driver):
+        """A quote for nonce A cannot be replayed as a quote for nonce B."""
+        from dataclasses import replace
+
+        tpm, _, _ = tpm_setup
+        quote = driver.quote(b"\xaa" * 20, [17])
+        forged = replace(quote, nonce=b"\xbb" * 20)
+        assert not forged.verify(tpm.aik_public)
+
+    def test_quote_requires_valid_auth(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        iface = tpm.interface(0)
+        session = iface.start_oiap()
+        digest = command_digest("TPM_Quote", b"\x00" * 20, bytes((17,)))
+        bad_proof = session.compute_proof(b"\x55" * 20, digest, b"\x01" * 20)
+        with pytest.raises(TPMAuthError):
+            iface.quote(b"\x00" * 20, [17], session, b"\x01" * 20, bad_proof)
+
+    def test_quote_charges_virtual_time(self, tpm_setup, driver):
+        _, clock, _ = tpm_setup
+        before = clock.now()
+        driver.quote(b"\x00" * 20, [17])
+        assert clock.now() - before >= BROADCOM_BCM0102.quote_ms
+
+
+class TestSealUnseal:
+    def test_roundtrip_no_policy(self, driver):
+        blob = driver.seal(b"plain secret", {})
+        assert driver.unseal(blob) == b"plain secret"
+
+    def test_policy_enforced(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        tpm.interface(LOCALITY_CPU).dynamic_pcr_reset()
+        required = tpm.pcrs.read(17)
+        blob = driver.seal(b"bound secret", {17: required})
+        assert driver.unseal(blob) == b"bound secret"
+        # Change PCR 17: unseal must now fail.
+        driver.pcr_extend(17, b"\x01" * 20)
+        with pytest.raises(TPMPolicyError):
+            driver.unseal(blob)
+
+    def test_policy_binds_to_wrong_value_never_opens(self, tpm_setup, driver):
+        blob = driver.seal(b"unreachable", {17: b"\x42" * 20})
+        with pytest.raises(TPMPolicyError):
+            driver.unseal(blob)
+
+    def test_tampered_blob_rejected(self, driver):
+        blob = driver.seal(b"integrity", {})
+        bad = SealedBlob(
+            ciphertext=blob.ciphertext[:-1] + bytes([blob.ciphertext[-1] ^ 1]),
+            mac=blob.mac,
+            bound_pcrs=blob.bound_pcrs,
+        )
+        with pytest.raises(TPMError):
+            driver.unseal(bad)
+
+    def test_blob_opaque_to_holder(self, driver):
+        """The ciphertext must not contain the plaintext."""
+        blob = driver.seal(b"findable-plaintext-marker", {})
+        assert b"findable-plaintext-marker" not in blob.ciphertext
+
+    def test_blob_encode_decode(self, driver):
+        blob = driver.seal(b"serialize me", {17: b"\x10" * 20})
+        decoded = SealedBlob.decode(blob.encode())
+        assert decoded == blob
+
+    def test_seal_requires_valid_auth(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        iface = tpm.interface(0)
+        session = iface.start_oiap()
+        digest = command_digest("TPM_Seal", b"data", b"")
+        wrong = session.compute_proof(b"\x99" * 20, digest, b"\x02" * 20)
+        with pytest.raises(TPMAuthError):
+            iface.seal(b"data", {}, session, b"\x02" * 20, wrong)
+
+    def test_auth_session_proof_not_replayable(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        iface = tpm.interface(0)
+        session = iface.start_oiap()
+        nonce_odd = b"\x03" * 20
+        digest = command_digest("TPM_Seal", b"data", b"")
+        proof = session.compute_proof(iface.srk_auth, digest, nonce_odd)
+        iface.seal(b"data", {}, session, nonce_odd, proof)
+        # Rolling nonce means the same proof no longer authorizes.
+        with pytest.raises(TPMAuthError):
+            iface.seal(b"data", {}, session, nonce_odd, proof)
+
+    def test_unseal_charges_profile_time(self, tpm_setup, driver):
+        _, clock, _ = tpm_setup
+        blob = driver.seal(b"k" * 20, {})
+        before = clock.now()
+        driver.unseal(blob)
+        elapsed = clock.now() - before
+        # Session setup + unseal; dominated by the ~898 ms unseal.
+        assert elapsed == pytest.approx(
+            BROADCOM_BCM0102.unseal_ms(20) + BROADCOM_BCM0102.session_ms, abs=1.0
+        )
+
+
+class TestOwnershipNVAndCounters:
+    OWNER = b"\x0a" * 20
+
+    def test_take_ownership_once(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        tpm.take_ownership(self.OWNER)
+        assert tpm.owner_auth_installed
+        with pytest.raises(TPMAuthError):
+            tpm.take_ownership(self.OWNER)
+
+    def test_owner_auth_length_checked(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        with pytest.raises(TPMError):
+            tpm.take_ownership(b"short")
+
+    def test_nv_define_requires_owner(self, tpm_setup, driver):
+        with pytest.raises(TPMAuthError):
+            driver.define_nv_space(0x1000, 20, self.OWNER)  # no owner installed
+
+    def test_nv_define_write_read(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        tpm.take_ownership(self.OWNER)
+        driver.define_nv_space(0x1000, 64, self.OWNER)
+        driver.nv_write(0x1000, b"persistent")
+        assert driver.nv_read(0x1000) == b"persistent"
+
+    def test_nv_pcr_gated_read(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        tpm.take_ownership(self.OWNER)
+        tpm.interface(LOCALITY_CPU).dynamic_pcr_reset()
+        good = tpm.pcrs.read(17)
+        driver.define_nv_space(0x2000, 20, self.OWNER, read_pcr_policy={17: good})
+        driver.nv_write(0x2000, b"pal-only-value-here!")
+        assert driver.nv_read(0x2000) == b"pal-only-value-here!"
+        driver.pcr_extend(17, b"\x01" * 20)
+        with pytest.raises(TPMPolicyError):
+            driver.nv_read(0x2000)
+
+    def test_nv_size_and_duplicates(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        tpm.take_ownership(self.OWNER)
+        driver.define_nv_space(0x3000, 8, self.OWNER)
+        with pytest.raises(TPMNVError):
+            driver.define_nv_space(0x3000, 8, self.OWNER)
+        with pytest.raises(TPMNVError):
+            driver.nv_write(0x3000, b"too long for space")
+        with pytest.raises(TPMNVError):
+            driver.nv_read(0x9999)
+
+    def test_nv_read_before_write(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        tpm.take_ownership(self.OWNER)
+        driver.define_nv_space(0x4000, 8, self.OWNER)
+        with pytest.raises(TPMNVError):
+            driver.nv_read(0x4000)
+
+    def test_counter_lifecycle(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        tpm.take_ownership(self.OWNER)
+        cid = driver.create_counter(b"replay", self.OWNER)
+        assert driver.read_counter(cid) == 0
+        assert driver.increment_counter(cid) == 1
+        assert driver.increment_counter(cid) == 2
+        assert driver.read_counter(cid) == 2
+
+    def test_counter_unknown_id(self, tpm_setup, driver):
+        with pytest.raises(TPMNVError):
+            driver.read_counter(999)
+
+    def test_nv_persists_across_reboot(self, tpm_setup, driver):
+        tpm, _, _ = tpm_setup
+        tpm.take_ownership(self.OWNER)
+        driver.define_nv_space(0x5000, 16, self.OWNER)
+        driver.nv_write(0x5000, b"durable")
+        tpm.reboot()
+        assert driver.nv_read(0x5000) == b"durable"
+
+
+class TestMisc:
+    def test_get_random_is_deterministic_per_seed(self):
+        def make():
+            return TPM(VirtualClock(), EventTrace(), DeterministicRNG(5),
+                       BROADCOM_BCM0102, key_bits=512)
+
+        assert make().interface(0).get_random(16) == make().interface(0).get_random(16)
+
+    def test_get_capability(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        caps = tpm.interface(0).get_capability()
+        assert caps["version"] == "1.2"
+        assert caps["pcr_count"] == 24
+        assert caps["owned"] is False
+
+    def test_sessions_dropped_on_reboot(self, tpm_setup):
+        tpm, _, _ = tpm_setup
+        iface = tpm.interface(0)
+        session = iface.start_oiap()
+        tpm.reboot()
+        digest = command_digest("TPM_Seal", b"x", b"")
+        proof = session.compute_proof(iface.srk_auth, digest, b"\x01" * 20)
+        with pytest.raises(TPMAuthError):
+            iface.seal(b"x", {}, session, b"\x01" * 20, proof)
