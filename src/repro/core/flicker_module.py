@@ -219,7 +219,10 @@ class FlickerModule(KernelModule):
 
         self._last_result = result
         if result.pal_error is not None:
-            raise PALRuntimeError(f"PAL faulted (OS restored): {result.pal_error}")
+            error = PALRuntimeError(f"PAL faulted (OS restored): {result.pal_error}")
+            error.error_type = result.pal_error_type
+            error.transient = result.pal_error_transient
+            raise error
         return result
 
     # -- introspection ---------------------------------------------------------------------

@@ -22,6 +22,12 @@ from repro.core.flicker_module import DEFAULT_NONCE, FlickerModule
 from repro.core.pal import PAL
 from repro.core.slb import SLBImage, build_slb
 from repro.core.slb_core import SLBCoreResult
+from repro.errors import (
+    AttestationError,
+    PALRuntimeError,
+    SessionAbortedError,
+    TPMTransientError,
+)
 from repro.hw.machine import Machine
 from repro.osim.kernel import UntrustedKernel
 from repro.osim.network import NetworkLink
@@ -31,6 +37,25 @@ from repro.tpm.privacy_ca import PrivacyCA
 
 #: PCR indices a standard Flicker attestation covers.
 ATTESTED_PCRS = (17,)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the platform responds to transient faults.
+
+    A session that dies on a :class:`~repro.errors.TPMTransientError` is
+    re-run after an exponential backoff on the *virtual* clock.  Anything
+    else — a permanent TPM fault, a PAL bug — is never retried; the
+    platform fails closed with :class:`~repro.errors.SessionAbortedError`
+    (permanent fault) or the original :class:`PALRuntimeError`.
+    """
+
+    #: Total attempts including the first (1 disables retries).
+    max_attempts: int = 3
+    #: Virtual milliseconds before the first retry.
+    backoff_ms: float = 8.0
+    #: Backoff growth factor per retry.
+    multiplier: float = 2.0
 
 
 @dataclass
@@ -49,6 +74,8 @@ class SessionResult:
     total_ms: float = 0.0
     #: Per-TPM-operation breakdown within the session (Table 1/4/Fig 9 rows).
     tpm_ms: Dict[str, float] = field(default_factory=dict)
+    #: Number of transient-fault retries this session needed (0 = first try).
+    retries: int = 0
 
     def phase(self, name: str) -> float:
         """Convenience accessor for a phase timing (0.0 if absent)."""
@@ -82,6 +109,7 @@ class FlickerPlatform:
         platform_label: str = "hp-dc5750",
         multicore_isolation: bool = False,
         launch: str = "svm",
+        retry_policy: RetryPolicy = RetryPolicy(),
     ) -> None:
         acm = None
         intel_authority = None
@@ -112,6 +140,7 @@ class FlickerPlatform:
             one_way_ms=profile.host.network_one_way_ms,
             hops=profile.host.network_hops,
         )
+        self.retry_policy = retry_policy
         self._image_cache: Dict[Tuple[int, bool], SLBImage] = {}
         self._installed: Optional[SLBImage] = None
         self._last: Optional[SessionResult] = None
@@ -156,9 +185,61 @@ class FlickerPlatform:
         inputs: bytes = b"",
         nonce: bytes = DEFAULT_NONCE,
     ) -> SessionResult:
-        """Run one session of an already built SLB image."""
+        """Run one session of an already built SLB image.
+
+        Sessions that die on a transient TPM fault are retried per the
+        platform's :class:`RetryPolicy` (the whole session re-runs — PCR 17
+        is re-established from scratch by the new SKINIT, so a retry is
+        indistinguishable from a fresh session to the verifier).  Permanent
+        faults and exhausted retries raise
+        :class:`~repro.errors.SessionAbortedError`.
+        """
         if self._installed is not image:
             self.install(image)
+        clock = self.machine.clock
+        policy = self.retry_policy
+        start = clock.now()
+        backoff_ms = policy.backoff_ms
+        attempt = 1
+        self.machine.fire_fault("session.begin", image=image, nonce=nonce)
+        try:
+            while True:
+                try:
+                    result = self._execute_attempt(image, inputs, nonce)
+                    break
+                except PALRuntimeError as exc:
+                    if exc.error_type == "TPMPermanentError":
+                        error = SessionAbortedError(
+                            f"session failed closed on permanent fault: {exc}"
+                        )
+                        error.error_type = exc.error_type
+                        raise error from exc
+                    if not exc.transient:
+                        raise
+                    if attempt >= policy.max_attempts:
+                        error = SessionAbortedError(
+                            f"session failed closed after {attempt} attempts: {exc}"
+                        )
+                        error.transient = True
+                        error.error_type = exc.error_type
+                        raise error from exc
+                    clock.advance(backoff_ms)
+                    self.machine.trace.emit(
+                        clock.now(), "flicker", "session-retry",
+                        attempt=attempt, backoff_ms=backoff_ms,
+                    )
+                    backoff_ms *= policy.multiplier
+                    attempt += 1
+        finally:
+            self.machine.fire_fault("session.end", image=image)
+        result.retries = attempt - 1
+        result.total_ms = clock.elapsed_since(start)
+        self._last = result
+        return result
+
+    def _execute_attempt(
+        self, image: SLBImage, inputs: bytes, nonce: bytes
+    ) -> SessionResult:
         clock = self.machine.clock
         clock.reset_spans()
         self.kernel.sysfs.write("flicker/inputs", inputs)
@@ -169,7 +250,7 @@ class FlickerPlatform:
         outputs = self.kernel.sysfs.read("flicker/outputs")
         spans = clock.span_totals()
         tpm_after = self._tpm_op_totals()
-        result = SessionResult(
+        return SessionResult(
             outputs=outputs,
             image=image,
             nonce=nonce,
@@ -183,8 +264,6 @@ class FlickerPlatform:
                 if tpm_after.get(op, 0.0) - tpm_before.get(op, 0.0) > 0
             },
         )
-        self._last = result
-        return result
 
     def _tpm_op_totals(self) -> Dict[str, float]:
         """Cumulative virtual time per TPM op, from the trace (approximate:
@@ -215,12 +294,32 @@ class FlickerPlatform:
         """Produce the attestation for a session (default: the most recent).
 
         Runs on the *untrusted* OS — the tqd loads the AIK and quotes PCR
-        17 with the verifier's nonce (§4.4.1)."""
+        17 with the verifier's nonce (§4.4.1).  Transient TPM faults during
+        the quote are retried under the platform's :class:`RetryPolicy`;
+        exhausted retries raise :class:`~repro.errors.AttestationError`."""
         target = session or self._last
         if target is None:
-            raise RuntimeError("no session to attest")
+            raise AttestationError("no session to attest")
         pcrs = (17, 18) if self.launch == "txt" else ATTESTED_PCRS
-        quote, cert = self.tqd.attest(nonce, pcrs)
+        policy = self.retry_policy
+        backoff_ms = policy.backoff_ms
+        attempt = 1
+        while True:
+            try:
+                quote, cert = self.tqd.attest(nonce, pcrs)
+                break
+            except TPMTransientError as exc:
+                if attempt >= policy.max_attempts:
+                    raise AttestationError(
+                        f"quote failed after {attempt} attempts: {exc}"
+                    ) from exc
+                self.machine.clock.advance(backoff_ms)
+                self.machine.trace.emit(
+                    self.machine.clock.now(), "flicker", "attest-retry",
+                    attempt=attempt, backoff_ms=backoff_ms,
+                )
+                backoff_ms *= policy.multiplier
+                attempt += 1
         return Attestation(
             quote=quote,
             aik_certificate=cert,

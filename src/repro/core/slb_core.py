@@ -44,7 +44,7 @@ from repro.core.modules.tpm_utils import FLICKER_PCR, PALTPMInterface
 from repro.core.pal import PALContext
 from repro.core.slb import SLBImage
 from repro.crypto.sha1 import sha1_cached as sha1
-from repro.errors import PALRuntimeError
+from repro.errors import PALRuntimeError, TPMTransientError
 from repro.hw.cpu import CPUCore, GDT, SegmentDescriptor, TaskStateSegment
 from repro.hw.machine import Machine
 
@@ -81,6 +81,10 @@ class SLBCoreResult:
     pal_error: Optional[str] = None
     #: Labels of extends the PAL performed itself (subset of event_log).
     pal_extend_count: int = 0
+    #: Exception type name behind ``pal_error`` (e.g. ``"TPMTransientError"``).
+    pal_error_type: str = ""
+    #: True when the PAL died on a retryable fault (transient TPM error).
+    pal_error_transient: bool = False
 
 
 def _build_slb_gdt(layout: SLBLayout, restrict: bool) -> GDT:
@@ -221,16 +225,27 @@ def execute_slb(
     ctx.self_seal_policy = seal_policy
 
     pal_error: Optional[str] = None
+    pal_error_type = ""
+    pal_error_transient = False
     trace_mark = len(machine.trace)
+    machine.fire_fault("pal.enter", pal=image.pal.name, layout=layout)
     with clock.span("pal-exec"):
         if restrict:
             core.ring = 3  # IRET into the confined PAL (§5.1.2)
         try:
+            # Faults raised at these points land in the same containment
+            # path as a buggy PAL: cleanup and the closing extends still
+            # run, so the session fails closed rather than wedged.
+            machine.fire_fault("session.mid", pal=image.pal.name, layout=layout)
+            machine.fire_fault("pal.exception", pal=image.pal.name)
             image.pal.run(ctx)
         except Exception as exc:  # contain the PAL; OS must still resume
             pal_error = f"{type(exc).__name__}: {exc}"
+            pal_error_type = type(exc).__name__
+            pal_error_transient = isinstance(exc, TPMTransientError)
         finally:
             core.ring = 0  # call gate + TSS return to the SLB Core
+            machine.fire_fault("pal.exit", pal=image.pal.name)
 
     # Collect the PAL's own PCR-17 extends for the event log.
     pal_extends = [
@@ -275,4 +290,6 @@ def execute_slb(
         event_log=tuple(event_log),
         pal_error=pal_error,
         pal_extend_count=len(pal_extends),
+        pal_error_type=pal_error_type,
+        pal_error_transient=pal_error_transient,
     )

@@ -148,10 +148,34 @@ class RSAKeyPair:
     public: RSAPublicKey
 
 
+#: Memoized keygen results keyed by (bits, rng state before generation).
+#: Key generation is a pure function of the RNG state, so identical seeds —
+#: ubiquitous across the deterministic test suite and fault campaigns —
+#: can reuse the keypair *and* the RNG state it left behind, skipping the
+#: prime search (the dominant cost of platform construction).
+_KEYGEN_CACHE: dict = {}
+_KEYGEN_CACHE_MAX = 256
+
+
 def generate_rsa_keypair(bits: int, rng: DeterministicRNG) -> RSAKeyPair:
     """Generate an RSA keypair with a modulus of exactly ``bits`` bits."""
     if bits < 64 or bits % 2:
         raise ReproError("modulus size must be an even number of bits >= 64")
+    state_before = getattr(rng, "_state", None)
+    cache_key = (bits, state_before) if isinstance(state_before, int) else None
+    if cache_key is not None and cache_key in _KEYGEN_CACHE:
+        keypair, state_after = _KEYGEN_CACHE[cache_key]
+        rng._state = state_after
+        return keypair
+    keypair = _generate_rsa_keypair(bits, rng)
+    if cache_key is not None:
+        if len(_KEYGEN_CACHE) >= _KEYGEN_CACHE_MAX:
+            _KEYGEN_CACHE.clear()
+        _KEYGEN_CACHE[cache_key] = (keypair, rng._state)
+    return keypair
+
+
+def _generate_rsa_keypair(bits: int, rng: DeterministicRNG) -> RSAKeyPair:
     half = bits // 2
     while True:
         p = generate_prime(half, rng)

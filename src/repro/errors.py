@@ -76,6 +76,20 @@ class TPMLocalityError(TPMError):
     dynamic-PCR reset that only the CPU may issue)."""
 
 
+class TPMTransientError(TPMError):
+    """A TPM command failed transiently (glitched bus, busy chip).
+
+    Retryable: issuing the same command again may succeed.  The platform's
+    retry policy (:class:`repro.core.session.RetryPolicy`) handles these."""
+
+
+class TPMPermanentError(TPMError):
+    """A TPM command failed permanently (dead NV cell, broken engine).
+
+    Never retryable: callers must fail closed
+    (:class:`SessionAbortedError` at the platform layer)."""
+
+
 # ---------------------------------------------------------------------------
 # OS layer
 # ---------------------------------------------------------------------------
@@ -113,6 +127,19 @@ class SLBFormatError(FlickerError):
 class PALRuntimeError(FlickerError):
     """The PAL faulted during execution inside the Flicker session."""
 
+    #: Whether the underlying failure is retryable (set when the PAL died
+    #: on a :class:`TPMTransientError`).
+    transient: bool = False
+
+    #: Name of the exception type the PAL actually raised, when known.
+    error_type: str = ""
+
+
+class SessionAbortedError(PALRuntimeError):
+    """A Flicker session failed closed: a permanent fault, or a transient
+    one that survived every retry.  The OS was restored and no PAL output
+    was released."""
+
 
 class AttestationError(FlickerError):
     """A TPM quote or its event log failed verification."""
@@ -124,6 +151,10 @@ class SealedStorageError(FlickerError):
 
 class SecureChannelError(FlickerError):
     """Secure-channel protocol violation (bad nonce, bad padding...)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (unknown kind, bad injection point...)."""
 
 
 class ExtractionError(ReproError):

@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the Flicker simulation.
+
+Flicker's security argument is about what survives when the environment
+misbehaves: a malicious OS, DMA-capable peripherals, a glitchy TPM, strike
+damage to the SLB image itself.  This package turns those adversities into
+a first-class, *seeded* instrument:
+
+* :class:`~repro.faults.plan.FaultSpec` / :class:`~repro.faults.plan.FaultPlan`
+  — a declarative, serializable description of which faults to inject where,
+  generated deterministically from a single integer seed.
+* :class:`~repro.faults.injector.FaultInjector` — hooks a plan into the
+  platform's named injection points (``skinit.pre-measure``,
+  ``tpm.command``, ``session.mid``, ``pal.exception``, ...).  Every fault
+  it fires is emitted as a ``source="fault"`` trace event, so campaigns are
+  replayable from the trace.
+* :class:`~repro.faults.campaign.FaultCampaign` — sweeps N seeded plans
+  across the paper's four applications and classifies each run's outcome
+  (``ok`` / ``retried-ok`` / ``session-aborted`` / ``attestation-rejected``
+  / ``secret-leaked`` — the last must always be zero).
+
+See ``docs/FAULTS.md`` for the injection-point catalogue and usage.
+"""
+
+from repro.faults.injector import INJECTION_POINTS, FaultInjector
+from repro.faults.plan import FAULT_KINDS, TPM_FAULT_OPS, FaultPlan, FaultSpec
+
+#: Campaign symbols are re-exported lazily (PEP 562) so that running
+#: ``python -m repro.faults.campaign`` does not import the module twice.
+_CAMPAIGN_EXPORTS = ("FaultCampaign", "OUTCOMES", "run_scenario")
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.faults import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTION_POINTS",
+    "OUTCOMES",
+    "TPM_FAULT_OPS",
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "run_scenario",
+]

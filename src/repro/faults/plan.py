@@ -1,0 +1,139 @@
+"""Fault plans: declarative, seeded descriptions of what to inject.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultSpec` entries plus the seed
+it was generated from.  Plans are pure data — they can be serialized to a
+JSON-friendly dict and rebuilt exactly, which is how a failing campaign
+seed is replayed (``docs/FAULTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+from repro.errors import FaultPlanError
+from repro.sim.rng import DeterministicRNG
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "slb-bit-flip",    # flip one bit of the in-memory SLB before SKINIT measures it
+    "tpm-transient",   # a TPM command fails once (retryable)
+    "tpm-permanent",   # a TPM command fails every time (never retryable)
+    "nv-corrupt",      # an NV write silently retains corrupted bits
+    "dma-probe",       # a compromised peripheral DMA-reads the SLB mid-session
+    "debug-probe",     # a hardware debugger reads the SLB mid-session
+    "clock-skew",      # the platform oscillator runs fast/slow for the session
+    "pal-exception",   # the PAL raises at its entry point
+)
+
+#: TPM commands a ``tpm-transient`` / ``tpm-permanent`` spec may target.
+TPM_FAULT_OPS = (
+    "seal",
+    "unseal",
+    "get_random",
+    "pcr_extend",
+    "quote",
+    "nv_write",
+    "nv_read",
+)
+
+#: Spec ``session`` value meaning "any session".
+ANY_SESSION = -1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``session`` selects the logical session index (0-based, counted per
+    :meth:`FlickerPlatform.execute_image` call; retries of one session share
+    its index) or :data:`ANY_SESSION`.  ``op`` narrows TPM-command faults to
+    one command (empty = any).  ``count`` bounds how many times the fault
+    fires (ignored for ``tpm-permanent``, which by definition never heals).
+    ``magnitude`` parameterizes the kind: the bit index for corruptions,
+    the skew percentage for ``clock-skew``.
+    """
+
+    kind: str
+    session: int = ANY_SESSION
+    op: str = ""
+    count: int = 1
+    magnitude: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(f"unknown fault kind {self.kind!r}")
+        if self.op and self.op not in TPM_FAULT_OPS:
+            raise FaultPlanError(f"unknown TPM fault op {self.op!r}")
+        if self.kind == "nv-corrupt" and self.op not in ("", "nv_write"):
+            raise FaultPlanError("nv-corrupt only applies to nv_write")
+        if self.session < ANY_SESSION:
+            raise FaultPlanError(f"bad session index {self.session}")
+        if self.count < 1:
+            raise FaultPlanError("fault count must be >= 1")
+        if self.kind == "clock-skew" and self.magnitude <= 0:
+            raise FaultPlanError("clock-skew magnitude is a percentage > 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault specs, applied together to one platform run."""
+
+    seed: int
+    specs: Tuple[FaultSpec, ...]
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        max_faults: int = 3,
+        max_sessions: int = 3,
+    ) -> "FaultPlan":
+        """Derive a plan deterministically from ``seed``.
+
+        The same seed always yields the same plan (the generator forks a
+        dedicated RNG stream, so plan generation never perturbs platform
+        randomness).
+        """
+        rng = DeterministicRNG(seed).fork("fault-plan")
+        specs = []
+        for _ in range(rng.randint(1, max_faults)):
+            kind = FAULT_KINDS[rng.randint(0, len(FAULT_KINDS) - 1)]
+            session = rng.randint(0, max_sessions - 1)
+            op = ""
+            count = 1
+            magnitude = 0
+            if kind in ("tpm-transient", "tpm-permanent"):
+                op = TPM_FAULT_OPS[rng.randint(0, len(TPM_FAULT_OPS) - 1)]
+                if kind == "tpm-transient":
+                    count = rng.randint(1, 2)
+            elif kind == "nv-corrupt":
+                op = "nv_write"
+                magnitude = rng.randint(0, 1 << 16)
+            elif kind == "slb-bit-flip":
+                # Bit offsets land past the 4-byte SLB header so the image
+                # stays parseable: the attack corrupts code, not framing.
+                magnitude = rng.randint(0, 1 << 16)
+            elif kind == "clock-skew":
+                magnitude = rng.randint(50, 300)  # percent of nominal rate
+            specs.append(
+                FaultSpec(kind=kind, session=session, op=op, count=count,
+                          magnitude=magnitude)
+            )
+        return cls(seed=seed, specs=tuple(specs))
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly encoding (inverse of :meth:`from_dict`)."""
+        return {"seed": self.seed, "specs": [asdict(s) for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output; validates specs."""
+        try:
+            seed = int(data["seed"])
+            specs = tuple(FaultSpec(**spec) for spec in data["specs"])
+        except (KeyError, TypeError) as exc:
+            raise FaultPlanError(f"malformed fault plan encoding: {exc}") from exc
+        return cls(seed=seed, specs=specs)

@@ -9,7 +9,7 @@ the SLB may extend protection to further pages before touching them (paper
 
 from __future__ import annotations
 
-from typing import Set
+from typing import List, Set, Tuple
 
 from repro.errors import DMAProtectionError
 from repro.hw.memory import PAGE_SIZE, PhysicalMemory
@@ -20,6 +20,10 @@ class DeviceExclusionVector:
 
     def __init__(self) -> None:
         self._protected: Set[int] = set()
+        #: Chronological record of blocked transfers as
+        #: ``(device_name, addr, length)`` tuples (diagnostics / fault
+        #: campaigns; the DEV itself is stateless about failures).
+        self.blocked_attempts: List[Tuple[str, int, int]] = []
 
     def protect_range(self, addr: int, length: int) -> None:
         """Set DEV bits for all pages overlapping [addr, addr+length)."""
@@ -46,6 +50,7 @@ class DeviceExclusionVector:
         protected.  Called by the machine's DMA bridge on every transfer."""
         for page in PhysicalMemory.page_range(addr, length):
             if page in self._protected:
+                self.blocked_attempts.append((device_name, addr, length))
                 raise DMAProtectionError(
                     f"DEV blocked DMA by {device_name!r} to page {page:#x} "
                     f"(range [{addr:#x}, {addr + length:#x}))"

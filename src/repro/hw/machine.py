@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from repro.crypto.sha1 import sha1_cached as sha1
+from repro.errors import DMAProtectionError
 from repro.hw.apic import APIC
 from repro.hw.cpu import CPU, GDT
 from repro.hw.dev import DeviceExclusionVector
@@ -69,6 +70,11 @@ class Machine:
         )
         #: Locality-4 TPM interface; held by the machine, never by software.
         self.cpu_tpm_interface: TPMInterface = self.tpm.interface(LOCALITY_CPU)
+        #: Optional fault injector (:class:`repro.faults.FaultInjector`).
+        #: ``None`` means the platform runs fault-free; components signal
+        #: injection points through :meth:`fire_fault` regardless.
+        self.fault_injector = None
+        self.tpm.fault_hook = self.fire_fault
         self.debugger = HardwareDebugger(self)
         self._dma_devices: Dict[str, DMADevice] = {}
         self._executables: Dict[bytes, EntryRoutine] = {}
@@ -87,6 +93,19 @@ class Machine:
             for register in ("cs", "ds", "ss"):
                 core.load_segment(register, register)
 
+    # -- fault injection ---------------------------------------------------------
+
+    def fire_fault(self, point: str, **context: Any) -> Any:
+        """Signal a named injection point to the installed fault injector.
+
+        Returns whatever the injector's handler returns (``None`` when no
+        injector is installed or the point is not armed).  Handlers may
+        raise typed errors to model the fault, or return replacement data
+        (e.g. corrupted NV contents)."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.fire(point, self, **context)
+
     # -- software-visible TPM access -------------------------------------------
 
     def os_tpm_interface(self) -> TPMInterface:
@@ -103,14 +122,24 @@ class Machine:
 
     def dma_read(self, device: DMADevice, addr: int, length: int) -> bytes:
         """DMA read on behalf of ``device``; consults the DEV."""
-        self.dev.check_dma(addr, length, device.name)
+        try:
+            self.dev.check_dma(addr, length, device.name)
+        except DMAProtectionError:
+            self.trace.emit(self.clock.now(), "dev", "dma_blocked",
+                            device=device.name, addr=addr, length=length)
+            raise
         self.trace.emit(self.clock.now(), "dev", "dma_read",
                         device=device.name, addr=addr, length=length)
         return self.memory.read(addr, length)
 
     def dma_write(self, device: DMADevice, addr: int, data: bytes) -> None:
         """DMA write on behalf of ``device``; consults the DEV."""
-        self.dev.check_dma(addr, len(data), device.name)
+        try:
+            self.dev.check_dma(addr, len(data), device.name)
+        except DMAProtectionError:
+            self.trace.emit(self.clock.now(), "dev", "dma_blocked",
+                            device=device.name, addr=addr, length=len(data))
+            raise
         self.trace.emit(self.clock.now(), "dev", "dma_write",
                         device=device.name, addr=addr, length=len(data))
         self.memory.write(addr, data)

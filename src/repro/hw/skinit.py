@@ -82,6 +82,12 @@ def skinit(machine: "Machine", core_id: int, slb_base: int) -> Any:
     if entry >= length:
         raise SLBFormatError(f"SLB entry point {entry:#x} outside measured region")
 
+    # Injection point: the image sits in DMA-reachable memory until the DEV
+    # bits are set below, so a fault here models corruption in that window.
+    # SKINIT measures whatever bytes are present afterwards — tampering
+    # changes the measurement, never what PCR 17 reports about it.
+    machine.fire_fault("skinit.pre-measure", slb_base=slb_base, length=length)
+
     # --- hardware protections (step 2-3) ---------------------------------
     machine.dev.protect_range(slb_base, SLB_REGION_SIZE)
     core.interrupts_enabled = False

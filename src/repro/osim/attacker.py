@@ -12,6 +12,7 @@ changed, DEV refused the DMA, unseal refused the blob, ...).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import DMAProtectionError, DebugAccessError
@@ -23,6 +24,24 @@ from repro.osim.kernel import (
     UntrustedKernel,
 )
 from repro.tpm.structures import SealedBlob
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one hardware probe attempt.
+
+    ``blocked`` is True when the platform's protections refused the access
+    (``error`` names the refusing mechanism); otherwise ``data`` holds the
+    bytes the adversary obtained.  Used by fault campaigns, which must
+    record the attempt either way rather than unwind on the exception.
+    """
+
+    vector: str  # "dma" or "debugger"
+    addr: int
+    length: int
+    blocked: bool
+    data: bytes = b""
+    error: str = ""
 
 
 class Attacker:
@@ -78,6 +97,25 @@ class Attacker:
         """Attempt a hardware-debugger read.  Raises
         :class:`DebugAccessError` while SKINIT protections are active."""
         return self.machine.debugger.probe(addr, length)
+
+    def dma_probe_checked(self, addr: int, length: int) -> ProbeResult:
+        """:meth:`dma_probe`, reported as a :class:`ProbeResult` instead of
+        an exception — fault campaigns record the outcome either way."""
+        try:
+            data = self.dma_probe(addr, length)
+        except DMAProtectionError as exc:
+            return ProbeResult("dma", addr, length, blocked=True,
+                               error=f"{type(exc).__name__}: {exc}")
+        return ProbeResult("dma", addr, length, blocked=False, data=data)
+
+    def debugger_probe_checked(self, addr: int, length: int) -> ProbeResult:
+        """:meth:`debugger_probe`, reported as a :class:`ProbeResult`."""
+        try:
+            data = self.debugger_probe(addr, length)
+        except DebugAccessError as exc:
+            return ProbeResult("debugger", addr, length, blocked=True,
+                               error=f"{type(exc).__name__}: {exc}")
+        return ProbeResult("debugger", addr, length, blocked=False, data=data)
 
     def scan_memory_for(self, secret: bytes) -> List[int]:
         """Ring-0 sweep of all physical memory for a secret value —

@@ -34,6 +34,7 @@ class VirtualClock:
         if start_ms < 0:
             raise ValueError("clock cannot start at negative time")
         self._now_ms = float(start_ms)
+        self._skew = 1.0
         self._span_stack: List[str] = []
         self._span_totals: dict = {}
         self._span_log: List[Tuple[str, float, float]] = []
@@ -44,11 +45,29 @@ class VirtualClock:
         """Current virtual time in milliseconds."""
         return self._now_ms
 
+    @property
+    def skew(self) -> float:
+        """Current clock-skew factor (1.0 = nominal rate)."""
+        return self._skew
+
+    def set_skew(self, factor: float) -> None:
+        """Scale every subsequent :meth:`advance` by ``factor``.
+
+        Models a mis-calibrated or fault-injected oscillator: all latencies
+        stretch (factor > 1) or shrink (factor < 1) uniformly, which stays
+        deterministic.  Used by the fault-injection layer
+        (:mod:`repro.faults`)."""
+        if factor <= 0:
+            raise ValueError("clock skew factor must be positive")
+        self._skew = float(factor)
+
     def advance(self, delta_ms: float) -> float:
-        """Advance the clock by ``delta_ms`` milliseconds and return the new
-        time.  Attributes the delta to every span currently open."""
+        """Advance the clock by ``delta_ms`` milliseconds (scaled by the
+        active skew factor) and return the new time.  Attributes the delta
+        to every span currently open."""
         if delta_ms < 0:
             raise ValueError("cannot advance the clock backwards")
+        delta_ms *= self._skew
         self._now_ms += delta_ms
         for name in self._span_stack:
             self._span_totals[name] = self._span_totals.get(name, 0.0) + delta_ms

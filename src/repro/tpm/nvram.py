@@ -66,6 +66,23 @@ class MonotonicCounter:
         return self.value
 
 
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    """Return ``data`` with one bit flipped (``bit_index`` taken modulo the
+    total bit count).
+
+    Deterministic single-bit corruption primitive shared by the fault
+    injector: it models a failing NV cell here and an SLB image strike in
+    :mod:`repro.faults.injector`.
+    """
+    if not data:
+        return data
+    bit_index %= len(data) * 8
+    byte_index, bit = divmod(bit_index, 8)
+    corrupted = bytearray(data)
+    corrupted[byte_index] ^= 1 << bit
+    return bytes(corrupted)
+
+
 def check_pcr_policy(
     policy: Optional[Dict[int, bytes]],
     pcr_read,

@@ -114,7 +114,18 @@ class TPM:
         self._counters: Dict[int, MonotonicCounter] = {}
         self._next_counter_id = 1
 
+        #: Fault-injection hook, installed by the owning machine.  Called as
+        #: ``fault_hook("tpm.command", op=..., **detail)`` at the entry of
+        #: every command; may raise a typed :class:`~repro.errors.TPMError`
+        #: or return replacement data (see :mod:`repro.faults`).
+        self.fault_hook = None
+
     # -- plumbing -------------------------------------------------------------
+
+    def _fault(self, op: str, **detail):
+        if self.fault_hook is None:
+            return None
+        return self.fault_hook("tpm.command", op=op, **detail)
 
     def _charge(self, ms: float, op: str, **detail) -> None:
         if self.jitter_fraction > 0.0 and ms > 0.0:
@@ -216,10 +227,12 @@ class TPM:
     # -- core commands (locality-checked wrappers live on TPMInterface) -----------
 
     def _pcr_read(self, index: int) -> bytes:
+        self._fault("pcr_read", pcr=index)
         self._charge(self.timings.pcr_read_ms, "pcr_read", pcr=index)
         return self.pcrs.read(index)
 
     def _pcr_extend(self, index: int, measurement: bytes) -> bytes:
+        self._fault("pcr_extend", pcr=index)
         value = self.pcrs.extend(index, measurement)
         self._charge(
             self.timings.extend_ms, "pcr_extend", pcr=index, measurement=measurement.hex()
@@ -235,6 +248,7 @@ class TPM:
         self._trace.emit(self._clock.now(), "tpm", "dynamic_pcr_reset", pcrs=list(DYNAMIC_PCRS))
 
     def _get_random(self, num_bytes: int) -> bytes:
+        self._fault("get_random", nbytes=num_bytes)
         self._charge(self.timings.getrandom_ms(num_bytes), "get_random", nbytes=num_bytes)
         return self._rng.bytes(num_bytes)
 
@@ -246,6 +260,7 @@ class TPM:
         nonce_odd: bytes,
         proof: bytes,
     ) -> Quote:
+        self._fault("quote")
         indices = tuple(sorted(set(pcr_indices)))
         digest = command_digest("TPM_Quote", nonce, bytes(indices))
         self._session(session_id).verify_proof(self.aik_auth, digest, nonce_odd, proof)
@@ -301,6 +316,7 @@ class TPM:
         nonce_odd: bytes,
         proof: bytes,
     ) -> SealedBlob:
+        self._fault("seal", nbytes=len(data))
         digest = command_digest(
             "TPM_Seal", data, PCRComposite.from_mapping(pcr_policy).encode() if pcr_policy else b""
         )
@@ -320,6 +336,7 @@ class TPM:
         nonce_odd: bytes,
         proof: bytes,
     ) -> bytes:
+        self._fault("unseal")
         digest = command_digest("TPM_Unseal", blob.ciphertext)
         self._session(session_id).verify_proof(self.srk_auth, digest, nonce_odd, proof)
         if not constant_time_equal(hmac_sha1(self._storage_mac_key, blob.ciphertext), blob.mac):
@@ -368,6 +385,11 @@ class TPM:
             raise TPMNVError(f"NV space {index:#x} not defined") from None
 
     def _nv_write(self, index: int, data: bytes) -> None:
+        corrupted = self._fault("nv_write", index=index, data=data)
+        if corrupted is not None:
+            # The fault model lets the injector hand back the bytes the dying
+            # NV cell actually retained; the command itself "succeeds".
+            data = corrupted
         space = self._nv_space(index)
         check_pcr_policy(space.write_pcr_policy, self.pcrs.read, f"NV write {index:#x}")
         space.check_size(data)
@@ -376,6 +398,7 @@ class TPM:
         self._charge(self.timings.nv_op_ms, "nv_write", index=index, nbytes=len(data))
 
     def _nv_read(self, index: int) -> bytes:
+        self._fault("nv_read", index=index)
         space = self._nv_space(index)
         check_pcr_policy(space.read_pcr_policy, self.pcrs.read, f"NV read {index:#x}")
         if not space.written:
@@ -399,6 +422,7 @@ class TPM:
             raise TPMNVError(f"no monotonic counter {counter_id}") from None
 
     def _increment_counter(self, counter_id: int) -> int:
+        self._fault("counter_increment", counter=counter_id)
         value = self._counter(counter_id).increment()
         self._charge(self.timings.nv_op_ms, "counter_increment", counter=counter_id, value=value)
         return value

@@ -1,4 +1,27 @@
-"""Shared fixtures for the Flicker reproduction test suite."""
+"""Shared fixtures for the Flicker reproduction test suite.
+
+Suite-speed notes
+-----------------
+
+RSA key generation dominated the suite's wall time until two levers landed:
+
+* ``repro.crypto.rsa`` memoizes ``generate_rsa_keypair`` on ``(bits,
+  rng state)``.  Every ``FlickerPlatform(seed=1234)`` replays identical RNG
+  states, so after the first platform of a run, later ones reuse the same
+  keypairs for free.  This is why the function-scoped ``platform`` fixture
+  stays cheap despite building a whole machine per test.
+* Platforms default to 512-bit functional/TPM keys (the ``functional_rsa_bits``
+  / ``tpm_key_bits`` knobs on :class:`FlickerPlatform`).  512 is the floor for
+  the application paths: EMSA-PKCS1-v1_5/SHA-1 signatures need a >=368-bit
+  modulus and the secure-channel padding needs >=408 bits, so don't pass
+  anything smaller.  Full-size 1024-bit keys stay covered by the
+  ``slow``-marked tests in ``tests/integration/test_full_size_keys.py``.
+
+The session-scoped fixtures below are for *read-only* checks (inspecting
+timing profiles, module inventories, verifier maths).  Anything that runs
+sessions, extends PCRs, or mutates kernel state must use the function-scoped
+fixtures so tests stay order-independent.
+"""
 
 from __future__ import annotations
 
@@ -32,3 +55,19 @@ def kernel(machine: Machine) -> UntrustedKernel:
 def platform() -> FlickerPlatform:
     """A fully assembled Flicker deployment."""
     return FlickerPlatform(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def shared_platform() -> FlickerPlatform:
+    """A session-scoped platform for **read-only** assertions.
+
+    Built once per pytest run; tests using it must not execute sessions or
+    otherwise mutate machine/TPM state — use ``platform`` for that.
+    """
+    return FlickerPlatform(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def shared_machine() -> Machine:
+    """A session-scoped bare machine for **read-only** assertions."""
+    return Machine(seed=1234)

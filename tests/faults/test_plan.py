@@ -1,0 +1,104 @@
+"""Fault-plan generation, validation, and serialization."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    ANY_SESSION,
+    FAULT_KINDS,
+    TPM_FAULT_OPS,
+    FaultPlan,
+    FaultSpec,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.generate(42) == FaultPlan.generate(42)
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.generate(seed).specs for seed in range(20)}
+        assert len(plans) > 1
+
+    def test_generation_does_not_touch_global_state(self):
+        before = FaultPlan.generate(7)
+        for seed in range(50):
+            FaultPlan.generate(seed)
+        assert FaultPlan.generate(7) == before
+
+    def test_spec_fields_within_bounds(self):
+        for seed in range(100):
+            plan = FaultPlan.generate(seed, max_faults=4, max_sessions=5)
+            assert 1 <= len(plan.specs) <= 4
+            for spec in plan.specs:
+                assert spec.kind in FAULT_KINDS
+                assert 0 <= spec.session < 5
+                assert spec.count >= 1
+                if spec.kind in ("tpm-transient", "tpm-permanent"):
+                    assert spec.op in TPM_FAULT_OPS
+                if spec.kind == "clock-skew":
+                    assert 50 <= spec.magnitude <= 300
+
+    def test_all_kinds_reachable(self):
+        seen = set()
+        for seed in range(300):
+            seen.update(s.kind for s in FaultPlan.generate(seed).specs)
+        assert seen == set(FAULT_KINDS)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="emp-blast")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="tpm-transient", op="self_destruct")
+
+    def test_nv_corrupt_requires_nv_write(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="nv-corrupt", op="seal")
+
+    def test_bad_session_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="pal-exception", session=-2)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="tpm-transient", op="seal", count=0)
+
+    def test_clock_skew_needs_positive_magnitude(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="clock-skew", magnitude=0)
+
+    def test_any_session_allowed(self):
+        spec = FaultSpec(kind="pal-exception", session=ANY_SESSION)
+        assert spec.session == ANY_SESSION
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        for seed in range(25):
+            plan = FaultPlan.generate(seed)
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_roundtrip_is_json_compatible(self):
+        import json
+
+        plan = FaultPlan.generate(3)
+        rebuilt = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt == plan
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"specs": []})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": 1, "specs": [{"nope": True}]})
+
+    def test_bad_spec_in_dict_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict(
+                {"seed": 1, "specs": [{"kind": "warp-core-breach"}]}
+            )

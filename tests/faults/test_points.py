@@ -1,0 +1,175 @@
+"""Per-injection-point behavior: each fault kind lands where it should
+and produces the typed, fail-closed outcome the platform promises."""
+
+import pytest
+
+from repro.core import PAL
+from repro.errors import (
+    AttestationError,
+    PALRuntimeError,
+    SessionAbortedError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.faults.plan import ANY_SESSION
+from repro.osim.tpm_driver import OSTPMDriver
+from repro.tpm.nvram import flip_bit
+from repro.tpm.structures import SealedBlob
+
+pytestmark = pytest.mark.faults
+
+
+class EchoPAL(PAL):
+    name = "echo"
+    modules = ()
+
+    def run(self, ctx):
+        ctx.write_output(b"echo:" + ctx.inputs)
+
+
+class SealPAL(PAL):
+    """Seals on empty input, unseals otherwise — one code identity for
+    both halves, so the blob's PCR 17 policy matches across sessions."""
+
+    name = "seal"
+    modules = ("tpm_driver", "tpm_utils")
+
+    def run(self, ctx):
+        if not ctx.inputs:
+            blob = ctx.tpm.seal_to_pal(b"sealed-secret", ctx.self_pcr17)
+            ctx.write_output(blob.encode())
+        else:
+            ctx.write_output(ctx.tpm.unseal(SealedBlob.decode(ctx.inputs)))
+
+
+def install(platform, *specs):
+    plan = FaultPlan(seed=0, specs=tuple(specs))
+    return FaultInjector(plan).install(platform)
+
+
+class TestSLBBitFlip:
+    def test_flip_is_visible_to_the_verifier(self, platform):
+        install(platform, FaultSpec(kind="slb-bit-flip", session=0,
+                                    magnitude=7))
+        session = platform.execute_pal(EchoPAL(), inputs=b"hi")
+        attestation = platform.attest(session.nonce)
+        report = platform.verifier().verify(
+            attestation, session.image, session.nonce
+        )
+        assert not report.ok
+        with pytest.raises(AttestationError):
+            report.require()
+
+    def test_unseal_never_succeeds_after_flip(self, platform):
+        blob = platform.execute_pal(SealPAL()).outputs
+        # Sessions are counted from install: the unseal run is session 0.
+        install(platform, FaultSpec(kind="slb-bit-flip", session=0,
+                                    magnitude=123))
+        with pytest.raises(PALRuntimeError):
+            platform.execute_pal(SealPAL(), inputs=blob)
+
+    def test_unseal_succeeds_without_flip(self, platform):
+        # Control for the test above: identical flow, no fault.
+        blob = platform.execute_pal(SealPAL()).outputs
+        result = platform.execute_pal(SealPAL(), inputs=blob)
+        assert result.outputs == b"sealed-secret"
+
+
+class TestTPMFaults:
+    def test_attest_retry_exhaustion_is_typed(self, platform):
+        install(platform, FaultSpec(kind="tpm-transient", session=ANY_SESSION,
+                                    op="quote", count=99))
+        session = platform.execute_pal(EchoPAL())
+        with pytest.raises(AttestationError):
+            platform.attest(session.nonce)
+
+    def test_permanent_fault_error_type_is_pinned(self, platform):
+        install(platform, FaultSpec(kind="tpm-permanent", session=0,
+                                    op="seal"))
+        with pytest.raises(SessionAbortedError) as excinfo:
+            platform.execute_pal(SealPAL())
+        assert excinfo.value.error_type == "TPMPermanentError"
+
+    def test_transient_get_random_is_survivable(self, platform):
+        install(platform, FaultSpec(kind="tpm-transient", session=0,
+                                    op="get_random", count=1))
+
+        class RandomPAL(PAL):
+            name = "random"
+            modules = ("tpm_driver",)
+
+            def run(self, ctx):
+                ctx.write_output(ctx.tpm.get_random(16))
+
+        result = platform.execute_pal(RandomPAL())
+        assert result.retries == 1
+        assert len(result.outputs) == 16
+
+
+class TestNVCorruption:
+    INDEX = 0x1100
+
+    def test_nv_write_data_is_corrupted_in_flight(self, platform):
+        injector = install(
+            platform,
+            FaultSpec(kind="nv-corrupt", session=ANY_SESSION, op="nv_write",
+                      magnitude=21),
+        )
+        owner = b"\x00" * 20
+        platform.machine.tpm.take_ownership(owner)
+        driver = OSTPMDriver(platform.machine.os_tpm_interface())
+        driver.define_nv_space(self.INDEX, 8, owner)
+        payload = b"A" * 8
+        driver.nv_write(self.INDEX, payload)
+        stored = driver.nv_read(self.INDEX)
+        assert stored != payload
+        assert stored == flip_bit(payload, 21)
+        assert injector.fired[0]["kind"] == "nv-corrupt"
+
+    def test_flip_bit_involution(self):
+        data = bytes(range(16))
+        assert flip_bit(flip_bit(data, 77), 77) == data
+        assert flip_bit(b"", 5) == b""
+
+
+class TestHardwareProbes:
+    def test_dma_probe_is_blocked_and_logged(self, platform):
+        injector = install(platform, FaultSpec(kind="dma-probe", session=0))
+        result = platform.execute_pal(EchoPAL(), inputs=b"x")
+        assert result.outputs == b"echo:x"
+        (probe,) = injector.probe_results
+        assert probe.vector == "dma" and probe.blocked
+        assert not injector.leaks
+        assert platform.machine.dev.blocked_attempts
+        assert platform.machine.trace.events(kind="dma_blocked")
+
+    def test_debug_probe_is_blocked(self, platform):
+        injector = install(platform, FaultSpec(kind="debug-probe", session=0))
+        platform.execute_pal(EchoPAL())
+        (probe,) = injector.probe_results
+        assert probe.vector == "debugger" and probe.blocked
+        assert not injector.leaks
+
+
+class TestClockSkew:
+    def test_skewed_timing_is_deterministic(self):
+        from repro.core import FlickerPlatform
+
+        def timed_run():
+            platform = FlickerPlatform(seed=1234)
+            install(platform, FaultSpec(kind="clock-skew", session=0,
+                                        magnitude=175))
+            return platform.execute_pal(EchoPAL()).total_ms
+
+        assert timed_run() == timed_run()
+
+
+class TestPALException:
+    def test_injected_exception_is_typed_and_not_transient(self, platform):
+        install(platform, FaultSpec(kind="pal-exception", session=0))
+        with pytest.raises(PALRuntimeError) as excinfo:
+            platform.execute_pal(EchoPAL())
+        assert excinfo.value.error_type == "PALRuntimeError"
+        assert not excinfo.value.transient
+        # The OS survives the fault: the next session runs clean.
+        result = platform.execute_pal(EchoPAL(), inputs=b"ok")
+        assert result.outputs == b"echo:ok"

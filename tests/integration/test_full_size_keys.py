@@ -1,0 +1,44 @@
+"""Full-size (1024-bit, the paper's size) key coverage.
+
+The rest of the suite runs 512-bit functional/TPM keys for speed (see
+``tests/conftest.py``); these slow-marked tests keep each crypto path —
+functional signing, sealed storage, quote verification — exercised at the
+size the paper's prototype used.
+"""
+
+import pytest
+
+from repro.apps.ca import CertificateAuthority, CertificateSigningRequest
+from repro.core import FlickerPlatform
+from repro.crypto.rsa import generate_rsa_keypair
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def full_platform() -> FlickerPlatform:
+    return FlickerPlatform(seed=1234, functional_rsa_bits=1024,
+                           tpm_key_bits=1024)
+
+
+class TestFullSizeKeys:
+    def test_ca_signs_and_attests_with_1024_bit_keys(self, full_platform):
+        ca = CertificateAuthority(full_platform)
+        ca.initialize()
+        assert ca.public_key.n.bit_length() >= 1023
+        subject = generate_rsa_keypair(
+            512, full_platform.machine.rng.fork("full-size-subject")
+        )
+        csr = CertificateSigningRequest(subject="host.example.com",
+                                        public_key=subject.public)
+        certificate = ca.sign(csr)
+        assert certificate is not None and certificate.verify(ca.public_key)
+        attestation = full_platform.attest(ca.last_session.nonce)
+        report = full_platform.verifier().verify(
+            attestation, ca.last_session.image, ca.last_session.nonce
+        )
+        assert report.ok
+
+    def test_quote_signature_sized_to_tpm_key(self, full_platform):
+        quote = full_platform.attest(b"\x11" * 20).quote
+        assert len(quote.signature) == 128  # 1024-bit AIK modulus

@@ -3,6 +3,7 @@ defence tests elsewhere are meaningful)."""
 
 import pytest
 
+from repro.core import PAL
 from repro.crypto.sha1 import sha1
 from repro.osim.attacker import Attacker
 from repro.osim.kernel import KERNEL_TEXT_BASE, SYSCALL_TABLE_BASE
@@ -101,3 +102,94 @@ class TestBlobAttacks:
 
         blob = SealedBlob(ciphertext=b"\x05" * 32, mac=b"\x06" * 20, bound_pcrs=())
         assert attacker.replay_blob(blob) is blob
+
+
+class TestBlobAttacksAgainstRealTPM:
+    """The storage attacks exercised against genuinely sealed data."""
+
+    @pytest.fixture
+    def driver(self, machine):
+        from repro.osim.tpm_driver import OSTPMDriver
+
+        return OSTPMDriver(machine.os_tpm_interface())
+
+    def test_tampered_real_blob_is_rejected_by_unseal(self, driver, attacker):
+        from repro.errors import TPMError
+
+        blob = driver.seal(b"actual secret", {})
+        assert driver.unseal(blob) == b"actual secret"  # sanity
+        with pytest.raises(TPMError):
+            driver.unseal(attacker.tamper_blob(blob))
+
+    def test_replayed_real_blob_still_unseals(self, driver, attacker):
+        """TPM-level replay *succeeds* — that is the §4.3.2 attack surface
+        the NV-counter protocol exists to close."""
+        old = driver.seal(b"state v1", {})
+        driver.seal(b"state v2", {})  # the OS withholds the newer blob
+        assert driver.unseal(attacker.replay_blob(old)) == b"state v1"
+
+
+class MidSessionProbePAL(PAL):
+    name = "mid-session-probe"
+    modules = ()
+    #: Set by the test: a zero-argument callable run inside the session.
+    probe = None
+
+    def run(self, ctx):
+        type(self).probe()
+        ctx.write_output(b"done")
+
+
+class TestProbesDuringSKINITSession:
+    """Regression: both hardware probe vectors must raise (and their
+    ``*_checked`` variants must report blocked) while a session is live."""
+
+    @pytest.fixture(autouse=True)
+    def reset_probe(self):
+        yield
+        MidSessionProbePAL.probe = None
+
+    def test_dma_probe_raises_mid_session(self, platform):
+        from repro.errors import DMAProtectionError
+
+        attacker = Attacker(platform.kernel)
+        observed = {}
+
+        def attack():
+            base = platform.flicker.slb_base
+            with pytest.raises(DMAProtectionError):
+                attacker.dma_probe(base, 64)
+            observed["checked"] = attacker.dma_probe_checked(base, 64)
+
+        MidSessionProbePAL.probe = staticmethod(attack)
+        platform.execute_pal(MidSessionProbePAL())
+        result = observed["checked"]
+        assert result.blocked and result.data == b""
+        assert "DMAProtectionError" in result.error
+        assert platform.machine.dev.blocked_attempts
+
+    def test_debugger_probe_raises_mid_session(self, platform):
+        from repro.errors import DebugAccessError
+
+        attacker = Attacker(platform.kernel)
+        observed = {}
+
+        def attack():
+            base = platform.flicker.slb_base
+            with pytest.raises(DebugAccessError):
+                attacker.debugger_probe(base, 64)
+            observed["checked"] = attacker.debugger_probe_checked(base, 64)
+
+        MidSessionProbePAL.probe = staticmethod(attack)
+        platform.execute_pal(MidSessionProbePAL())
+        result = observed["checked"]
+        assert result.blocked and "DebugAccessError" in result.error
+
+    def test_probes_permitted_again_after_session(self, platform):
+        attacker = Attacker(platform.kernel)
+        MidSessionProbePAL.probe = staticmethod(lambda: None)
+        platform.execute_pal(MidSessionProbePAL())
+        platform.machine.memory.write(0x740000, b"post-session")
+        assert attacker.dma_probe(0x740000, 12) == b"post-session"
+        checked = attacker.debugger_probe_checked(0x740000, 12)
+        assert not checked.blocked and checked.data == b"post-session"
