@@ -45,3 +45,10 @@ def record(benchmark, **extra) -> None:
     """Attach paper-vs-measured values to the benchmark record."""
     for key, value in extra.items():
         benchmark.extra_info[key] = value
+
+
+def record_metrics(benchmark, registry) -> None:
+    """Attach a metrics-registry snapshot (see ``repro.obs``) to the
+    benchmark record, so saved benchmark JSON carries the workload's
+    counter/histogram profile alongside its timings."""
+    benchmark.extra_info["metrics"] = registry.snapshot()

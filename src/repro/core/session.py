@@ -110,6 +110,7 @@ class FlickerPlatform:
         multicore_isolation: bool = False,
         launch: str = "svm",
         retry_policy: RetryPolicy = RetryPolicy(),
+        observability: bool = False,
     ) -> None:
         acm = None
         intel_authority = None
@@ -141,9 +142,16 @@ class FlickerPlatform:
             hops=profile.host.network_hops,
         )
         self.retry_policy = retry_policy
+        if observability:
+            self.machine.enable_observability()
         self._image_cache: Dict[Tuple[int, bool], SLBImage] = {}
         self._installed: Optional[SLBImage] = None
         self._last: Optional[SessionResult] = None
+
+    @property
+    def obs(self):
+        """The machine's observability hub, or ``None`` when disabled."""
+        return self.machine.obs
 
     # -- building and installing SLBs -----------------------------------------------
 
@@ -198,10 +206,16 @@ class FlickerPlatform:
             self.install(image)
         clock = self.machine.clock
         policy = self.retry_policy
+        obs = self.machine.obs
         start = clock.now()
         backoff_ms = policy.backoff_ms
         attempt = 1
         self.machine.fire_fault("session.begin", image=image, nonce=nonce)
+        session_span = None
+        if obs is not None:
+            session_span = obs.open_span(
+                "session", category="session", pal=image.pal.name
+            )
         try:
             while True:
                 try:
@@ -209,6 +223,11 @@ class FlickerPlatform:
                     break
                 except PALRuntimeError as exc:
                     if exc.error_type == "TPMPermanentError":
+                        if obs is not None:
+                            obs.registry.counter(
+                                "session_aborts_total",
+                                "Sessions that failed closed",
+                            ).inc(pal=image.pal.name, reason="permanent-fault")
                         error = SessionAbortedError(
                             f"session failed closed on permanent fault: {exc}"
                         )
@@ -217,6 +236,11 @@ class FlickerPlatform:
                     if not exc.transient:
                         raise
                     if attempt >= policy.max_attempts:
+                        if obs is not None:
+                            obs.registry.counter(
+                                "session_aborts_total",
+                                "Sessions that failed closed",
+                            ).inc(pal=image.pal.name, reason="retries-exhausted")
                         error = SessionAbortedError(
                             f"session failed closed after {attempt} attempts: {exc}"
                         )
@@ -228,14 +252,42 @@ class FlickerPlatform:
                         clock.now(), "flicker", "session-retry",
                         attempt=attempt, backoff_ms=backoff_ms,
                     )
+                    if obs is not None:
+                        obs.registry.counter(
+                            "session_retries_total",
+                            "Transient-fault session retries",
+                        ).inc(pal=image.pal.name)
+                        obs.event("session.retry", category="session",
+                                  attempt=attempt, backoff_ms=backoff_ms)
                     backoff_ms *= policy.multiplier
                     attempt += 1
         finally:
             self.machine.fire_fault("session.end", image=image)
+            if session_span is not None:
+                obs.close_span(session_span, attempts=attempt)
         result.retries = attempt - 1
         result.total_ms = clock.elapsed_since(start)
         self._last = result
+        if obs is not None:
+            self._record_session_metrics(obs, image, result)
         return result
+
+    def _record_session_metrics(self, obs, image: SLBImage, result: "SessionResult") -> None:
+        """Fold one completed session into the metrics registry (Figure 2 /
+        Figure 8 aggregates: per-phase and per-module virtual timings)."""
+        pal = image.pal.name
+        obs.registry.counter("sessions_total", "Completed Flicker sessions").inc(pal=pal)
+        obs.registry.histogram(
+            "session_total_ms", "End-to-end session latency"
+        ).observe(result.total_ms, pal=pal)
+        for phase, ms in result.phase_ms.items():
+            obs.registry.histogram(
+                "session_phase_ms", "Virtual time per Figure 2 phase"
+            ).observe(ms, phase=phase)
+        for module in image.linked_modules:
+            obs.registry.counter(
+                "session_module_links_total", "Sessions linking each PAL module"
+            ).inc(module=module)
 
     def _execute_attempt(
         self, image: SLBImage, inputs: bytes, nonce: bytes
@@ -302,6 +354,7 @@ class FlickerPlatform:
             raise AttestationError("no session to attest")
         pcrs = (17, 18) if self.launch == "txt" else ATTESTED_PCRS
         policy = self.retry_policy
+        obs = self.machine.obs
         backoff_ms = policy.backoff_ms
         attempt = 1
         while True:
@@ -310,6 +363,11 @@ class FlickerPlatform:
                 break
             except TPMTransientError as exc:
                 if attempt >= policy.max_attempts:
+                    if obs is not None:
+                        obs.registry.counter(
+                            "attest_failures_total",
+                            "Attestations abandoned after exhausted retries",
+                        ).inc()
                     raise AttestationError(
                         f"quote failed after {attempt} attempts: {exc}"
                     ) from exc
@@ -318,6 +376,10 @@ class FlickerPlatform:
                     self.machine.clock.now(), "flicker", "attest-retry",
                     attempt=attempt, backoff_ms=backoff_ms,
                 )
+                if obs is not None:
+                    obs.registry.counter(
+                        "attest_retries_total", "Transient-fault quote retries"
+                    ).inc()
                 backoff_ms *= policy.multiplier
                 attempt += 1
         return Attestation(

@@ -140,8 +140,14 @@ DRIVERS = {
 # -- running one scenario ----------------------------------------------------
 
 
-def run_scenario(app: str, plan: FaultPlan, capture_trace: bool = False) -> Dict:
-    """Run one app under one fault plan; returns a JSON-friendly record."""
+def run_scenario(app: str, plan: FaultPlan, capture_trace: bool = False,
+                 registry=None) -> Dict:
+    """Run one app under one fault plan; returns a JSON-friendly record.
+
+    With a :class:`repro.obs.MetricsRegistry` as ``registry``, the run's
+    outcome, fired faults, and blocked probes are folded into campaign
+    counters (the record itself is unchanged, so reports stay
+    byte-compatible)."""
     if app not in DRIVERS:
         raise ValueError(f"unknown app {app!r} (choose from {APPS})")
     platform = _fresh_platform()
@@ -177,6 +183,22 @@ def run_scenario(app: str, plan: FaultPlan, capture_trace: bool = False) -> Dict
             {"time_ms": e.time_ms, "kind": e.kind, "detail": dict(e.detail)}
             for e in trace.events(source="fault")
         ]
+    if registry is not None:
+        registry.counter(
+            "campaign_outcomes_total", "Campaign cells per outcome class"
+        ).inc(app=app, outcome=outcome)
+        for fired in injector.fired:
+            registry.counter(
+                "campaign_faults_fired_total", "Injected faults that fired"
+            ).inc(kind=fired["kind"])
+        if record["probes_blocked"]:
+            registry.counter(
+                "campaign_probes_blocked_total", "Hardware probes the DEV/CPU blocked"
+            ).inc(record["probes_blocked"], app=app)
+        if retries:
+            registry.counter(
+                "campaign_retries_total", "Retries absorbed across the campaign"
+            ).inc(retries, app=app)
     return record
 
 
@@ -209,6 +231,11 @@ class FaultCampaign:
         self.apps = list(apps)
         self.max_faults = max_faults
         self.max_sessions = max_sessions
+        # Campaign-level outcome/fault/probe counters, populated by run().
+        # Deterministic like the report: same seeds, same snapshot.
+        from repro.obs import MetricsRegistry
+
+        self.registry = MetricsRegistry()
 
     def run(self) -> Dict:
         """Run every (seed, app) cell; returns the deterministic report."""
@@ -217,7 +244,7 @@ class FaultCampaign:
             plan = FaultPlan.generate(seed, max_faults=self.max_faults,
                                       max_sessions=self.max_sessions)
             for app in self.apps:
-                results.append(run_scenario(app, plan))
+                results.append(run_scenario(app, plan, registry=self.registry))
         counts = {outcome: 0 for outcome in OUTCOMES}
         for record in results:
             counts[record["outcome"]] += 1
@@ -263,6 +290,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--app", default="ca",
                         help="app for --replay (default ca)")
     parser.add_argument("--out", help="write the JSON report to this file")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the campaign's metrics snapshot "
+                             "(outcome/fault/probe counters) as JSONL")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
@@ -278,6 +308,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         campaign = FaultCampaign(seeds=range(nseeds), apps=apps)
         report = campaign.run()
         text = report_json(report)
+        if args.metrics_out:
+            from repro.obs import metrics_to_jsonl
+
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(metrics_to_jsonl(campaign.registry))
         leaked = report["summary"]["secret_leaked"]
         print(f"{report['summary']['runs']} runs: "
               + ", ".join(f"{k}={v}" for k, v in

@@ -74,6 +74,10 @@ class Machine:
         #: ``None`` means the platform runs fault-free; components signal
         #: injection points through :meth:`fire_fault` regardless.
         self.fault_injector = None
+        #: Optional observability hub (:class:`repro.obs.ObservabilityHub`).
+        #: ``None`` (the default) disables all instrumentation at the cost
+        #: of one attribute test per site; see :meth:`enable_observability`.
+        self.obs = None
         self.tpm.fault_hook = self.fire_fault
         self.debugger = HardwareDebugger(self)
         self._dma_devices: Dict[str, DMADevice] = {}
@@ -92,6 +96,31 @@ class Machine:
             core.load_gdt(boot_gdt)
             for register in ("cs", "ds", "ss"):
                 core.load_segment(register, register)
+
+    # -- observability -----------------------------------------------------------
+
+    def enable_observability(self):
+        """Attach an :class:`repro.obs.ObservabilityHub` and wire it in.
+
+        Every ``clock.span(...)`` becomes a recorded hierarchical span,
+        every TPM command a child span plus a latency-histogram sample,
+        and the hardware layers start counting SKINITs and DEV-blocked
+        DMA.  Idempotent; returns the hub.  Call
+        :meth:`disable_observability` to unwire it again.
+        """
+        if self.obs is None:
+            from repro.obs import ObservabilityHub
+
+            self.obs = ObservabilityHub(self.clock)
+            self.clock.set_span_listener(self.obs)
+            self.tpm.obs = self.obs
+        return self.obs
+
+    def disable_observability(self) -> None:
+        """Detach the hub: instrumentation reverts to zero-overhead mode."""
+        self.obs = None
+        self.clock.set_span_listener(None)
+        self.tpm.obs = None
 
     # -- fault injection ---------------------------------------------------------
 
@@ -127,9 +156,17 @@ class Machine:
         except DMAProtectionError:
             self.trace.emit(self.clock.now(), "dev", "dma_blocked",
                             device=device.name, addr=addr, length=length)
+            if self.obs is not None:
+                self.obs.registry.counter(
+                    "dev_dma_blocked_total", "DMA transfers denied by the DEV"
+                ).inc(device=device.name, direction="read")
             raise
         self.trace.emit(self.clock.now(), "dev", "dma_read",
                         device=device.name, addr=addr, length=length)
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "dev_dma_total", "DMA transfers allowed through the DEV"
+            ).inc(device=device.name, direction="read")
         return self.memory.read(addr, length)
 
     def dma_write(self, device: DMADevice, addr: int, data: bytes) -> None:
@@ -139,9 +176,17 @@ class Machine:
         except DMAProtectionError:
             self.trace.emit(self.clock.now(), "dev", "dma_blocked",
                             device=device.name, addr=addr, length=len(data))
+            if self.obs is not None:
+                self.obs.registry.counter(
+                    "dev_dma_blocked_total", "DMA transfers denied by the DEV"
+                ).inc(device=device.name, direction="write")
             raise
         self.trace.emit(self.clock.now(), "dev", "dma_write",
                         device=device.name, addr=addr, length=len(data))
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "dev_dma_total", "DMA transfers allowed through the DEV"
+            ).inc(device=device.name, direction="write")
         self.memory.write(addr, data)
 
     # -- SLB executable registry ---------------------------------------------------

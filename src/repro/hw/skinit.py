@@ -107,6 +107,18 @@ def skinit(machine: "Machine", core_id: int, slb_base: int) -> Any:
 
     with machine.clock.span("skinit"):
         machine.clock.advance(machine.profile.tpm.skinit_ms(length))
+    obs = machine.obs
+    if obs is not None:
+        obs.registry.counter("skinit_total", "SKINIT launches").inc()
+        obs.registry.histogram(
+            "skinit_ms", "SKINIT latency (Table 2: linear in SLB size)"
+        ).observe(machine.profile.tpm.skinit_ms(length))
+        obs.registry.histogram(
+            "skinit_measured_bytes", "Measured SLB prefix length",
+            buckets=(4096.0, 8192.0, 16384.0, 32768.0, 65536.0),
+        ).observe(length)
+        obs.event("skinit.measured", category="cpu",
+                  length=length, measurement=measurement.hex())
     machine.trace.emit(
         machine.clock.now(),
         "cpu",

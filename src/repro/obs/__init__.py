@@ -1,0 +1,59 @@
+"""Observability layer: metrics, hierarchical spans, deterministic exporters.
+
+The paper's core claims are quantitative — the Figure 2 session timeline,
+Table 2's SKINIT costs, Figure 8's TPM-dominated overheads — and this
+package makes them first-class observable artifacts rather than ad-hoc
+prints:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms with *fixed* bucket boundaries, so every snapshot of a seeded
+  run is byte-deterministic.
+* :mod:`repro.obs.spans` — hierarchical spans layered on the virtual
+  clock (session → suspend/SKINIT/PAL phases → individual TPM commands),
+  recorded by an :class:`~repro.obs.spans.ObservabilityHub`.
+* :mod:`repro.obs.export` — exporters to JSONL and to the Chrome
+  ``trace_event`` format loadable in Perfetto / ``chrome://tracing``.
+
+Instrumentation is **opt-in and zero-overhead when disabled**: every hook
+in the simulation guards on ``obs is not None`` (a single attribute test),
+so the tier-1 suite and the benchmark tables are unaffected unless a
+caller enables observability::
+
+    platform = FlickerPlatform(observability=True)
+    ...
+    platform.obs.spans          # completed spans, virtual-time stamps
+    platform.obs.registry       # metrics
+
+See ``docs/OBSERVABILITY.md`` for the full model and a worked CA-session
+walkthrough, and ``python -m repro.tools.obs_report`` for the aggregated
+Figure 2 / Table 2 style report.
+"""
+
+from repro.obs.export import (
+    export_chrome_trace,
+    export_jsonl,
+    metrics_to_jsonl,
+    trace_to_chrome_events,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import ObservabilityHub, Span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityHub",
+    "Span",
+    "export_chrome_trace",
+    "export_jsonl",
+    "metrics_to_jsonl",
+    "trace_to_chrome_events",
+]

@@ -1,0 +1,168 @@
+"""Deterministic exporters: JSONL and Chrome ``trace_event`` format.
+
+Both exporters render only virtual-time data in canonical order with
+sorted JSON keys, so two runs with the same seed produce **byte-identical
+output** — the property the exporter regression tests pin down.
+
+* :func:`export_jsonl` — one self-describing JSON object per line
+  (spans in close order, then instant events, then the metrics
+  snapshot).  Greppable, diffable, streams well.
+* :func:`export_chrome_trace` — the Trace Event Format understood by
+  Perfetto and ``chrome://tracing``: complete (``"ph": "X"``) duration
+  events for spans plus instant (``"ph": "i"``) events, with virtual
+  milliseconds mapped to trace microseconds.
+* :func:`trace_to_chrome_events` — bridges the flat
+  :class:`~repro.sim.trace.EventTrace` into instant events, preserving
+  the trace's total order via a ``seq`` argument even where virtual
+  timestamps collide.
+
+Example
+-------
+>>> from repro.sim.clock import VirtualClock
+>>> from repro.obs.spans import ObservabilityHub
+>>> clock = VirtualClock()
+>>> hub = ObservabilityHub(clock)
+>>> with hub.span("session", category="session"):
+...     _ = clock.advance(1.5)
+>>> print(export_jsonl(hub).splitlines()[0])
+{"format": "repro-obs", "type": "meta", "version": 1}
+>>> import json
+>>> doc = json.loads(export_chrome_trace(hub))
+>>> [e["ph"] for e in doc["traceEvents"]]
+['M', 'X']
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.spans import ObservabilityHub
+    from repro.sim.trace import EventTrace
+
+#: Format tag and version stamped into every export.
+FORMAT_NAME = "repro-obs"
+FORMAT_VERSION = 1
+
+
+def _dumps(obj: Any) -> str:
+    """Canonical single-line JSON: sorted keys, no whitespace drift."""
+    return json.dumps(obj, sort_keys=True, separators=(", ", ": "))
+
+
+# -- JSONL --------------------------------------------------------------------
+
+
+def metrics_to_jsonl(registry: MetricsRegistry) -> str:
+    """The registry snapshot as ``{"type": "metric", ...}`` lines."""
+    lines = [
+        _dumps({"type": "metric", **sample}) for sample in registry.snapshot()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_jsonl(hub: "ObservabilityHub") -> str:
+    """The whole hub — spans, instant events, metrics — as JSONL."""
+    lines: List[str] = [
+        _dumps({"type": "meta", "format": FORMAT_NAME, "version": FORMAT_VERSION})
+    ]
+    for span in hub.spans:
+        lines.append(_dumps({
+            "type": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "cat": span.category,
+            "start_ms": span.start_ms,
+            "end_ms": span.end_ms,
+            "args": span.args,
+        }))
+    for event in hub.events:
+        lines.append(_dumps({
+            "type": "event",
+            "seq": event.seq,
+            "name": event.name,
+            "cat": event.category,
+            "time_ms": event.time_ms,
+            "args": event.args,
+        }))
+    for sample in hub.registry.snapshot():
+        lines.append(_dumps({"type": "metric", **sample}))
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+#: All events share one virtual process/thread: the simulated platform.
+_PID = 1
+_TID = 1
+
+
+def trace_to_chrome_events(trace: "EventTrace") -> List[Dict[str, Any]]:
+    """Instant events for every :class:`~repro.sim.trace.TraceEvent`.
+
+    The trace is totally ordered by emission; virtual timestamps alone
+    cannot encode that (several events may share one timestamp), so each
+    event carries its position as ``args["seq"]`` — sorting by
+    ``(ts, args.seq)`` reconstructs the exact original order.
+    """
+    events: List[Dict[str, Any]] = []
+    for seq, event in enumerate(trace):
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "name": f"{event.source}/{event.kind}",
+            "cat": event.source,
+            "ts": event.time_ms * 1000.0,
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"seq": seq, **{k: v for k, v in sorted(event.detail.items())}},
+        })
+    return events
+
+
+def export_chrome_trace(
+    hub: "ObservabilityHub", trace: "EventTrace" = None
+) -> str:
+    """The hub (and optionally the raw event trace) in Trace Event Format.
+
+    Load the result in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``; virtual milliseconds appear as microseconds
+    scaled by 1000 with ``displayTimeUnit`` set to ``ms``.
+    """
+    events: List[Dict[str, Any]] = [{
+        "ph": "M",
+        "name": "process_name",
+        "pid": _PID,
+        "tid": _TID,
+        "args": {"name": "flicker-virtual-platform"},
+    }]
+    for span in sorted(hub.spans, key=lambda s: (s.start_ms, s.span_id)):
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start_ms * 1000.0,
+            "dur": span.duration_ms * 1000.0,
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"id": span.span_id, "parent": span.parent_id, **span.args},
+        })
+    for event in hub.events:
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "name": event.name,
+            "cat": event.category,
+            "ts": event.time_ms * 1000.0,
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"seq": event.seq, **event.args},
+        })
+    if trace is not None:
+        events.extend(trace_to_chrome_events(trace))
+    doc = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(doc, sort_keys=True, separators=(", ", ": ")) + "\n"

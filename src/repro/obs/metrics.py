@@ -1,0 +1,279 @@
+"""Metrics primitives: counters, gauges, histograms, and their registry.
+
+The design follows the Prometheus data model (monotonic counters, point
+gauges, cumulative-bucket histograms) but is deliberately simpler and
+fully deterministic: bucket boundaries are fixed at construction time and
+:meth:`MetricsRegistry.snapshot` renders samples in a canonical sorted
+order, so two seeded runs of the simulation produce byte-identical
+metric output.
+
+Example
+-------
+>>> registry = MetricsRegistry()
+>>> sessions = registry.counter("sessions_total", "Completed sessions")
+>>> sessions.inc(pal="ca-sign")
+>>> sessions.inc(2, pal="ca-sign")
+>>> sessions.value(pal="ca-sign")
+3
+>>> lat = registry.histogram("tpm_command_ms", "Per-command latency",
+...                          buckets=(1.0, 10.0, 100.0))
+>>> lat.observe(9.7, op="seal")
+>>> lat.observe(898.0, op="unseal")
+>>> [s["name"] for s in registry.snapshot()]
+['sessions_total', 'tpm_command_ms', 'tpm_command_ms']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram boundaries (milliseconds of virtual time), spanning
+#: the sub-millisecond SLB Core bookkeeping up to the ~5 s RSA keygens.
+#: Fixed so that every snapshot of a seeded run is byte-identical.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: Canonical form of a label set: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named metric with labelled children."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+
+    def _samples(self) -> List[Dict[str, Any]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count, optionally partitioned by labels.
+
+    >>> c = Counter("retries_total")
+    >>> c.inc()
+    >>> c.inc(3, op="quote")
+    >>> (c.value(), c.value(op="quote"))
+    (1, 3)
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled child."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labelled child (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0)
+
+    def _samples(self) -> List[Dict[str, Any]]:
+        return [
+            {"kind": self.kind, "name": self.name, "labels": dict(key),
+             "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (e.g. bytes currently sealed)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the labelled child to ``value``."""
+        self._values[_label_key(labels)] = value
+
+    def add(self, delta: float, **labels: Any) -> None:
+        """Adjust the labelled child by ``delta`` (may be negative)."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + delta
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labelled child (0 if never set)."""
+        return self._values.get(_label_key(labels), 0)
+
+    def _samples(self) -> List[Dict[str, Any]]:
+        return [
+            {"kind": self.kind, "name": self.name, "labels": dict(key),
+             "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * num_buckets
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(Metric):
+    """A distribution with fixed, cumulative bucket boundaries.
+
+    Boundaries are upper-inclusive (Prometheus ``le`` semantics) and an
+    implicit ``+Inf`` bucket always exists, so ``count`` equals the last
+    cumulative bucket.
+
+    >>> h = Histogram("skinit_ms", buckets=(10.0, 100.0))
+    >>> for ms in (11.9, 45.0, 89.2, 177.5):
+    ...     h.observe(ms)
+    >>> h.snapshot_child()["buckets"]
+    [['10.0', 0], ['100.0', 3], ['+Inf', 4]]
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        super().__init__(name, help_text)
+        boundaries = tuple(float(b) for b in buckets)
+        if not boundaries:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        self.boundaries = boundaries
+        self._children: Dict[LabelKey, _HistogramChild] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation in the labelled child."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _HistogramChild(len(self.boundaries))
+        child.count += 1
+        child.sum += value
+        for i, boundary in enumerate(self.boundaries):
+            if value <= boundary:
+                child.bucket_counts[i] += 1
+                break
+
+    def count(self, **labels: Any) -> int:
+        """Number of observations in the labelled child."""
+        child = self._children.get(_label_key(labels))
+        return child.count if child else 0
+
+    def total(self, **labels: Any) -> float:
+        """Sum of observations in the labelled child."""
+        child = self._children.get(_label_key(labels))
+        return child.sum if child else 0.0
+
+    def snapshot_child(self, **labels: Any) -> Dict[str, Any]:
+        """Cumulative-bucket view of one labelled child."""
+        key = _label_key(labels)
+        child = self._children.get(key) or _HistogramChild(len(self.boundaries))
+        cumulative: List[List[Any]] = []
+        running = 0
+        for boundary, n in zip(self.boundaries, child.bucket_counts):
+            running += n
+            cumulative.append([repr(boundary), running])
+        cumulative.append(["+Inf", child.count])
+        return {
+            "kind": self.kind, "name": self.name, "labels": dict(key),
+            "count": child.count, "sum": child.sum, "buckets": cumulative,
+        }
+
+    def _samples(self) -> List[Dict[str, Any]]:
+        return [
+            self.snapshot_child(**dict(key))
+            for key in sorted(self._children)
+        ]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    Accessors are idempotent: asking for an existing name returns the
+    existing metric (help text and buckets from the first registration
+    win), so instrumentation sites can call ``registry.counter(...)``
+    on every hit without bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help_text, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the :class:`Counter` named ``name``."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the :class:`Gauge` named ``name``."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` named ``name``."""
+        return self._get_or_create(Histogram, name, help_text, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric named ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every sample of every metric, in canonical sorted order.
+
+        The order (metric name, then label set) and the fixed bucket
+        boundaries make the snapshot byte-deterministic for seeded runs.
+        """
+        samples: List[Dict[str, Any]] = []
+        for name in sorted(self._metrics):
+            samples.extend(self._metrics[name]._samples())
+        return samples
+
+    def format(self) -> str:
+        """Human-readable one-line-per-sample rendering."""
+        lines = []
+        for sample in self.snapshot():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(sample["labels"].items()))
+            suffix = f"{{{labels}}}" if labels else ""
+            if sample["kind"] == "histogram":
+                lines.append(
+                    f"{sample['name']}{suffix} count={sample['count']} "
+                    f"sum={sample['sum']:.3f}"
+                )
+            else:
+                lines.append(f"{sample['name']}{suffix} {sample['value']}")
+        return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Hierarchical spans over virtual time, and the hub that records them.
+
+A :class:`Span` is a named interval of *virtual* milliseconds with a
+parent pointer, so a recorded run forms a forest: a ``session`` span
+contains the ``flicker-session`` attempt(s), each attempt contains the
+Figure 2 phase spans (``suspend-os``, ``skinit``, ``pal-exec``, ...), and
+each phase contains the individual TPM command spans issued inside it.
+
+The :class:`ObservabilityHub` is the single recording object.  It is a
+span listener for :class:`~repro.sim.clock.VirtualClock` (every existing
+``clock.span(...)`` in the simulation becomes a recorded span with the
+correct hierarchy, for free), the sink for TPM per-command spans, and the
+owner of the run's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Nothing here reads the wall clock; all timestamps are deterministic
+virtual time, which is what makes exported traces byte-identical across
+seeded runs.
+
+Example
+-------
+>>> from repro.sim.clock import VirtualClock
+>>> clock = VirtualClock()
+>>> hub = ObservabilityHub(clock)
+>>> clock.set_span_listener(hub)
+>>> with clock.span("flicker-session"):
+...     with clock.span("skinit"):
+...         _ = clock.advance(14.3)
+>>> [(s.name, s.parent_id) for s in hub.spans]
+[('skinit', 1), ('flicker-session', None)]
+>>> hub.spans[0].duration_ms
+14.3
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import VirtualClock
+
+
+@dataclass
+class Span:
+    """One named interval of virtual time.
+
+    ``span_id`` values are assigned in *open* order starting from 1;
+    ``parent_id`` is the id of the span that was open when this one
+    started (``None`` for roots).  Completed spans are stored in *close*
+    order, mirroring how a trace viewer receives duration events.
+    """
+
+    span_id: int
+    name: str
+    category: str
+    start_ms: float
+    end_ms: float = 0.0
+    parent_id: Optional[int] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        """Length of the span in virtual milliseconds."""
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A zero-duration mark (e.g. ``dynamic_pcr_reset``) on the timeline."""
+
+    seq: int
+    name: str
+    category: str
+    time_ms: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class ObservabilityHub:
+    """Records spans, instant events, and metrics for one platform run.
+
+    Wire-up is done by :meth:`repro.hw.machine.Machine.enable_observability`;
+    components reach the hub through ``machine.obs`` / ``tpm.obs`` and
+    guard every touch with ``if obs is not None`` so a platform without a
+    hub pays only one attribute test per instrumentation site.
+    """
+
+    def __init__(self, clock: VirtualClock, registry: Optional[MetricsRegistry] = None) -> None:
+        self.clock = clock
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Completed spans, in close order (deterministic).
+        self.spans: List[Span] = []
+        #: Instant events, in emission order.
+        self.events: List[InstantEvent] = []
+        self._open: List[Span] = []
+        self._next_id = 1
+        self._next_seq = 1
+
+    # -- direct span API ------------------------------------------------------
+
+    def open_span(self, name: str, category: str = "span", **args: Any) -> Span:
+        """Open a span starting now; it becomes the parent of later opens."""
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            start_ms=self.clock.now(),
+            parent_id=self._open[-1].span_id if self._open else None,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self._open.append(span)
+        return span
+
+    def close_span(self, span: Span, **args: Any) -> Span:
+        """Close ``span`` at the current virtual time and record it."""
+        if span in self._open:
+            # Pop it (and anything left dangling above it, defensively).
+            while self._open:
+                top = self._open.pop()
+                if top is span:
+                    break
+        span.end_ms = self.clock.now()
+        span.args.update(args)
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", **args: Any) -> Iterator[Span]:
+        """Context manager opening/closing a span around a block."""
+        span = self.open_span(name, category, **args)
+        try:
+            yield span
+        finally:
+            self.close_span(span)
+
+    def record_complete(
+        self, name: str, category: str, duration_ms: float, **args: Any
+    ) -> Span:
+        """Record a span of ``duration_ms`` that *ends now*.
+
+        Used for operations whose cost was just charged to the clock in
+        one step (TPM commands): the span is parented under whatever span
+        is currently open.
+        """
+        end = self.clock.now()
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            start_ms=end - duration_ms,
+            end_ms=end,
+            parent_id=self._open[-1].span_id if self._open else None,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def event(self, name: str, category: str = "event", **args: Any) -> InstantEvent:
+        """Record an instant (zero-duration) event at the current time."""
+        event = InstantEvent(
+            seq=self._next_seq,
+            name=name,
+            category=category,
+            time_ms=self.clock.now(),
+            args=dict(args),
+        )
+        self._next_seq += 1
+        self.events.append(event)
+        return event
+
+    # -- VirtualClock span-listener protocol ----------------------------------
+
+    def span_opened(self, name: str, start_ms: float) -> None:
+        """Clock callback: a ``clock.span(name)`` block was entered."""
+        self.open_span(name, category="phase")
+
+    def span_closed(self, name: str, start_ms: float, end_ms: float) -> None:
+        """Clock callback: the matching block exited."""
+        if self._open and self._open[-1].name == name:
+            self.close_span(self._open[-1])
+        # A mismatch can only happen if the hub was wired mid-span; the
+        # orphan close is dropped rather than corrupting the hierarchy.
+
+    # -- queries --------------------------------------------------------------
+
+    def find_spans(self, name: Optional[str] = None,
+                   category: Optional[str] = None) -> List[Span]:
+        """Completed spans filtered by name and/or category."""
+        out = self.spans
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        if category is not None:
+            out = [s for s in out if s.category == category]
+        return list(out)
+
+    def children(self, span: Span) -> List[Span]:
+        """Direct children of ``span`` among completed spans."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def descendants(self, span: Span) -> List[Span]:
+        """All completed spans below ``span`` in the hierarchy."""
+        wanted = {span.span_id}
+        out: List[Span] = []
+        # spans close child-before-parent, so iterate repeatedly until
+        # the frontier stops growing (the forest is small).
+        remaining = list(self.spans)
+        grew = True
+        while grew:
+            grew = False
+            still: List[Span] = []
+            for s in remaining:
+                if s.parent_id in wanted:
+                    wanted.add(s.span_id)
+                    out.append(s)
+                    grew = True
+                else:
+                    still.append(s)
+            remaining = still
+        out.sort(key=lambda s: s.span_id)
+        return out

@@ -38,6 +38,10 @@ class VirtualClock:
         self._span_stack: List[str] = []
         self._span_totals: dict = {}
         self._span_log: List[Tuple[str, float, float]] = []
+        #: Optional span listener (an :class:`repro.obs.ObservabilityHub`):
+        #: notified on every span open/close.  ``None`` (the default) keeps
+        #: the clock observability-free at zero cost beyond one None test.
+        self._span_listener = None
 
     # -- time ---------------------------------------------------------------
 
@@ -79,6 +83,16 @@ class VirtualClock:
 
     # -- spans --------------------------------------------------------------
 
+    def set_span_listener(self, listener) -> None:
+        """Install (or with ``None``, remove) a span open/close listener.
+
+        The listener must provide ``span_opened(name, start_ms)`` and
+        ``span_closed(name, start_ms, end_ms)``; the observability hub
+        (:class:`repro.obs.ObservabilityHub`) implements this protocol to
+        turn every clock span into a recorded hierarchical span.
+        """
+        self._span_listener = listener
+
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
         """Attribute all time advanced inside the ``with`` block to ``name``.
@@ -90,11 +104,16 @@ class VirtualClock:
         start = self._now_ms
         self._span_totals.setdefault(name, 0.0)
         self._span_stack.append(name)
+        listener = self._span_listener
+        if listener is not None:
+            listener.span_opened(name, start)
         try:
             yield
         finally:
             self._span_stack.pop()
             self._span_log.append((name, start, self._now_ms))
+            if listener is not None:
+                listener.span_closed(name, start, self._now_ms)
 
     def span_totals(self) -> dict:
         """Mapping of span name to total milliseconds attributed to it."""

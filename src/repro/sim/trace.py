@@ -6,6 +6,19 @@ storage operations, OS suspend/resume) is appended to an
 e.g. that the SLB Core extended the closing sentinel into PCR 17 *before*
 the OS resumed — and the benchmark harness uses it to print the Figure 2
 timeline of a session.
+
+>>> trace = EventTrace()
+>>> _ = trace.emit(0.5, "tpm", "dynamic_pcr_reset")
+>>> _ = trace.emit(14.2, "cpu", "skinit", length=4736)
+>>> trace.ordered_before("dynamic_pcr_reset", "skinit")
+True
+>>> print(trace.last())
+[    14.200 ms] cpu/skinit length=4736
+
+The :mod:`repro.obs` layer builds on the trace: spans give the same run a
+hierarchy, and :func:`repro.obs.trace_to_chrome_events` lifts these flat
+events into a Chrome/Perfetto-loadable timeline without losing their
+total order.
 """
 
 from __future__ import annotations

@@ -1,0 +1,159 @@
+"""Aggregate one instrumented run: ``python -m repro.tools.obs_report``.
+
+Runs one application workload (default: the §7.4.2 certificate authority)
+on an observability-enabled platform and rebuilds the paper's quantitative
+views **from the recorded spans and metrics alone** — no access to
+``SessionResult`` internals:
+
+* the Figure 2 per-phase breakdown of the final session,
+* the Table 1 / Figure 8 style per-TPM-command latency aggregation,
+* the platform counters (sessions, retries, SKINITs, DEV activity).
+
+Because everything is virtual time under a fixed seed, the report — and
+the optional ``--jsonl`` / ``--chrome`` exports — are byte-identical
+across runs, which the observability test suite pins down.
+
+Usage::
+
+    python -m repro.tools.obs_report                    # CA, seed 2008
+    python -m repro.tools.obs_report --app ssh --seed 7
+    python -m repro.tools.obs_report --chrome trace.json  # open in Perfetto
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.session import FlickerPlatform, SessionResult
+from repro.obs import export_chrome_trace, export_jsonl
+from repro.obs.spans import ObservabilityHub, Span
+
+#: Default platform seed (the paper's publication year, as elsewhere).
+DEFAULT_SEED = 2008
+
+
+def run_instrumented(app: str = "ca", seed: int = DEFAULT_SEED) -> FlickerPlatform:
+    """Run one workload end to end on an observability-enabled platform."""
+    from repro.faults.campaign import DRIVERS
+
+    if app not in DRIVERS:
+        raise ValueError(f"unknown app {app!r} (choose from {tuple(DRIVERS)})")
+    platform = FlickerPlatform(seed=seed, observability=True)
+    DRIVERS[app](platform)
+    return platform
+
+
+def session_spans(hub: ObservabilityHub) -> List[Span]:
+    """The top-level ``session`` spans, in completion order."""
+    return hub.find_spans(name="session", category="session")
+
+
+def phase_breakdown(hub: ObservabilityHub, session_index: int = -1) -> Dict[str, float]:
+    """Figure 2 phase totals of one session, computed from spans alone.
+
+    Sums the durations of every descendant span of the chosen ``session``
+    span whose name is a canonical Figure 2 phase.  For a fault-free
+    session this reproduces ``SessionResult.phase_ms`` exactly (modulo
+    float associativity), which the obs test suite asserts.
+    """
+    sessions = session_spans(hub)
+    if not sessions:
+        raise ValueError("no session spans recorded — was observability enabled?")
+    target = sessions[session_index]
+    totals: Dict[str, float] = {}
+    for span in hub.descendants(target):
+        if span.name in SessionResult.FIGURE2_PHASES:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration_ms
+    return totals
+
+
+def tpm_breakdown(hub: ObservabilityHub) -> List[Tuple[str, int, float, float]]:
+    """Per-TPM-command ``(op, count, total_ms, mean_ms)`` rows, sorted by
+    total time descending — the Figure 8 'TPM dominates' view."""
+    histogram = hub.registry.get("tpm_command_ms")
+    if histogram is None:
+        return []
+    rows = []
+    for sample in histogram._samples():
+        op = sample["labels"]["op"]
+        count, total = sample["count"], sample["sum"]
+        rows.append((op, count, total, total / count if count else 0.0))
+    rows.sort(key=lambda r: (-r[2], r[0]))
+    return rows
+
+
+def counter_rows(hub: ObservabilityHub) -> List[Tuple[str, float]]:
+    """Flattened ``name{labels}`` → value rows for every counter."""
+    rows = []
+    for sample in hub.registry.snapshot():
+        if sample["kind"] != "counter":
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in sorted(sample["labels"].items()))
+        name = f"{sample['name']}{{{labels}}}" if labels else sample["name"]
+        rows.append((name, sample["value"]))
+    return rows
+
+
+def build_report(platform: FlickerPlatform, app: str, seed: int) -> str:
+    """The aggregated plain-text report for one instrumented run."""
+    hub = platform.obs
+    lines = [
+        f"# Observability report — app={app} seed={seed}",
+        f"(spans: {len(hub.spans)}, events: {len(hub.events)}, "
+        f"sessions: {len(session_spans(hub))}; all times virtual ms)",
+        "",
+        "## Figure 2 phase breakdown (final session, from spans alone)",
+    ]
+    phases = phase_breakdown(hub)
+    for phase in SessionResult.FIGURE2_PHASES:
+        if phase in phases:
+            lines.append(f"  {phase:<12} {phases[phase]:9.3f} ms")
+    final = session_spans(hub)[-1]
+    lines.append(f"  {'TOTAL':<12} {final.duration_ms:9.3f} ms")
+
+    lines += ["", "## TPM command latencies (from metrics)"]
+    lines.append(f"  {'op':<14} {'count':>5} {'total ms':>10} {'mean ms':>9}")
+    for op, count, total, mean in tpm_breakdown(hub):
+        lines.append(f"  {op:<14} {count:>5} {total:>10.3f} {mean:>9.3f}")
+
+    lines += ["", "## Counters"]
+    for name, value in counter_rows(hub):
+        lines.append(f"  {name} = {value:g}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.obs_report",
+        description="Aggregate an instrumented run into the paper's views.",
+    )
+    parser.add_argument("--app", default="ca",
+                        help="workload: ca, ssh, rootkit, distributed")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"platform seed (default {DEFAULT_SEED})")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="also write the full span/metric JSONL export")
+    parser.add_argument("--chrome", metavar="PATH",
+                        help="also write a Chrome trace_event file "
+                             "(open in Perfetto / chrome://tracing)")
+    args = parser.parse_args(argv)
+
+    try:
+        platform = run_instrumented(args.app, args.seed)
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(build_report(platform, args.app, args.seed))
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(export_jsonl(platform.obs))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            handle.write(export_chrome_trace(platform.obs,
+                                             platform.machine.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,11 @@ class TPM:
         #: every command; may raise a typed :class:`~repro.errors.TPMError`
         #: or return replacement data (see :mod:`repro.faults`).
         self.fault_hook = None
+        #: Observability hub, installed by the owning machine
+        #: (:meth:`repro.hw.machine.Machine.enable_observability`).  When
+        #: set, every command records a child span and a latency-histogram
+        #: sample; ``None`` keeps the command path overhead-free.
+        self.obs = None
 
     # -- plumbing -------------------------------------------------------------
 
@@ -133,6 +138,19 @@ class TPM:
             ms = max(0.0, noisy)
         self._clock.advance(ms)
         self._trace.emit(self._clock.now(), "tpm", op, **detail)
+        obs = self.obs
+        if obs is not None:
+            # The clock already advanced by the (skew-scaled) cost, so the
+            # recorded span ends now and the histogram sees the real charge.
+            charged = ms * self._clock.skew
+            obs.record_complete(f"tpm:{op}", category="tpm",
+                                duration_ms=charged, op=op)
+            obs.registry.counter(
+                "tpm_commands_total", "TPM commands issued"
+            ).inc(op=op)
+            obs.registry.histogram(
+                "tpm_command_ms", "Per-command TPM latency"
+            ).observe(charged, op=op)
 
     def interface(self, locality: int) -> "TPMInterface":
         """A command interface bound to ``locality``.
@@ -246,6 +264,9 @@ class TPM:
             )
         self.pcrs.dynamic_reset()
         self._trace.emit(self._clock.now(), "tpm", "dynamic_pcr_reset", pcrs=list(DYNAMIC_PCRS))
+        if self.obs is not None:
+            self.obs.event("tpm.dynamic_pcr_reset", category="tpm",
+                           locality=locality)
 
     def _get_random(self, num_bytes: int) -> bytes:
         self._fault("get_random", nbytes=num_bytes)

@@ -55,6 +55,28 @@ class TestRunScenario:
             run_scenario("minesweeper", plan_of(
                 FaultSpec(kind="pal-exception")))
 
+    def test_registry_folds_outcome_counters(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run_scenario("rootkit", plan_of(
+            FaultSpec(kind="tpm-transient", session=ANY_SESSION, op="quote",
+                      count=1)), registry=registry)
+        run_scenario("rootkit", plan_of(
+            FaultSpec(kind="dma-probe", session=0)), registry=registry)
+        counters = {
+            (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+            for s in registry.snapshot() if s["kind"] == "counter"
+        }
+        outcomes = ("app", "rootkit"), ("outcome", "retried-ok")
+        assert counters[("campaign_outcomes_total", outcomes)] == 1
+        assert counters[(
+            "campaign_faults_fired_total", (("kind", "tpm-transient"),))] == 1
+        assert counters[(
+            "campaign_probes_blocked_total", (("app", "rootkit"),))] == 1
+        assert counters[(
+            "campaign_retries_total", (("app", "rootkit"),))] >= 1
+
 
 class TestCampaignReport:
     def run_small(self):

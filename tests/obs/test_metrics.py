@@ -1,0 +1,123 @@
+"""Metrics primitives: counters, gauges, histograms, registry semantics."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value() == 0
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labelled_children_are_independent(self):
+        c = Counter("x")
+        c.inc(op="seal")
+        c.inc(2, op="unseal")
+        assert c.value(op="seal") == 1
+        assert c.value(op="unseal") == 2
+        assert c.value() == 0
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("x")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(b="2", a="1") == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        g = Gauge("g")
+        g.set(10)
+        g.add(-3)
+        assert g.value() == 7
+        g.set(1, shard="a")
+        assert g.value(shard="a") == 1
+
+
+class TestHistogram:
+    def test_fixed_cumulative_buckets(self):
+        h = Histogram("h", buckets=(10.0, 100.0))
+        for ms in (5.0, 50.0, 50.0, 500.0):
+            h.observe(ms)
+        child = h.snapshot_child()
+        assert child["count"] == 4
+        assert child["sum"] == pytest.approx(605.0)
+        assert child["buckets"] == [["10.0", 1], ["100.0", 3], ["+Inf", 4]]
+
+    def test_boundary_is_upper_inclusive(self):
+        h = Histogram("h", buckets=(10.0,))
+        h.observe(10.0)
+        assert h.snapshot_child()["buckets"][0] == ["10.0", 1]
+
+    def test_default_buckets_are_fixed_and_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(DEFAULT_LATENCY_BUCKETS_MS)
+        assert Histogram("h").boundaries == DEFAULT_LATENCY_BUCKETS_MS
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10.0, 10.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(100.0, 10.0))
+
+    def test_count_and_total_per_label(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.5, op="a")
+        h.observe(2.5, op="a")
+        assert h.count(op="a") == 2
+        assert h.total(op="a") == pytest.approx(3.0)
+        assert h.count(op="b") == 0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert "c" in reg and "missing" not in reg
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_sorted_and_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z_total").inc(b="2")
+            reg.counter("z_total").inc(a="1")
+            reg.gauge("a_gauge").set(3)
+            reg.histogram("m_ms", buckets=(1.0,)).observe(0.5, op="x")
+            return reg
+
+        snap = build().snapshot()
+        assert [s["name"] for s in snap] == ["a_gauge", "m_ms", "z_total", "z_total"]
+        # label sets within one metric are sorted too
+        assert [s["labels"] for s in snap[2:]] == [{"a": "1"}, {"b": "2"}]
+        assert snap == build().snapshot()
+
+    def test_format_renders_one_line_per_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("sessions_total").inc(pal="ca")
+        reg.histogram("ms", buckets=(1.0,)).observe(0.5)
+        text = reg.format()
+        assert "sessions_total{pal=ca} 1" in text
+        assert "ms count=1 sum=0.500" in text

@@ -1,0 +1,106 @@
+"""obs_report: the Figure 2 breakdown must be reproducible from spans alone."""
+
+import json
+
+import pytest
+
+from repro.core.session import SessionResult
+from repro.tools.obs_report import (
+    build_report,
+    counter_rows,
+    main,
+    phase_breakdown,
+    run_instrumented,
+    session_spans,
+    tpm_breakdown,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def ca_platform():
+    """One instrumented CA run shared by the read-only assertions below."""
+    return run_instrumented("ca", seed=2008)
+
+
+class TestPhaseBreakdown:
+    def test_matches_session_result_exactly(self, ca_platform):
+        """Acceptance: the Figure 2 phase breakdown is reproduced from the
+        recorded spans alone, matching `SessionResult.phase_ms`."""
+        phases = phase_breakdown(ca_platform.obs)
+        result = ca_platform.last_session
+        expected = {k: v for k, v in result.phase_ms.items()
+                    if k in SessionResult.FIGURE2_PHASES}
+        assert set(phases) == set(expected)
+        for name, ms in expected.items():
+            assert phases[name] == pytest.approx(ms, abs=1e-9)
+
+    def test_session_span_duration_matches_total(self, ca_platform):
+        final = session_spans(ca_platform.obs)[-1]
+        assert final.duration_ms == pytest.approx(
+            ca_platform.last_session.total_ms, abs=1e-9)
+
+    def test_earlier_sessions_addressable(self, ca_platform):
+        first = phase_breakdown(ca_platform.obs, session_index=0)
+        last = phase_breakdown(ca_platform.obs, session_index=-1)
+        # CA session 0 is keygen, session 1 is sign: different workloads,
+        # different PAL-exec times.
+        assert first["pal-exec"] != last["pal-exec"]
+
+    def test_no_spans_is_an_error(self):
+        from repro.obs import ObservabilityHub
+        from repro.sim.clock import VirtualClock
+
+        with pytest.raises(ValueError):
+            phase_breakdown(ObservabilityHub(VirtualClock()))
+
+
+class TestTPMBreakdown:
+    def test_unseal_and_quote_dominate_ca(self, ca_platform):
+        rows = tpm_breakdown(ca_platform.obs)
+        assert rows, "expected TPM command rows"
+        ops = [op for op, *_ in rows]
+        # Figure 8's claim: TPM operations dominate; quote and unseal lead.
+        assert set(ops[:2]) == {"quote", "unseal"}
+        for _, count, total, mean in rows:
+            assert count >= 1
+            assert mean == pytest.approx(total / count)
+
+    def test_counter_rows_flatten_labels(self, ca_platform):
+        rows = dict(counter_rows(ca_platform.obs))
+        assert rows["skinit_total"] == 2
+        assert rows["sessions_total{pal=flicker-ca}"] == 2
+
+
+class TestReportText:
+    def test_report_contains_figure2_phases_and_tpm_table(self, ca_platform):
+        text = build_report(ca_platform, "ca", 2008)
+        for needle in ("Figure 2 phase breakdown", "skinit", "pal-exec",
+                       "TOTAL", "TPM command latencies", "unseal",
+                       "## Counters"):
+            assert needle in text
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            run_instrumented("minesweeper")
+
+
+class TestCLI:
+    def test_main_writes_deterministic_exports(self, tmp_path, capsys):
+        args = ["--seed", "2008"]
+        a_jsonl, a_chrome = tmp_path / "a.jsonl", tmp_path / "a.json"
+        b_jsonl, b_chrome = tmp_path / "b.jsonl", tmp_path / "b.json"
+        assert main(args + ["--jsonl", str(a_jsonl), "--chrome", str(a_chrome)]) == 0
+        assert main(args + ["--jsonl", str(b_jsonl), "--chrome", str(b_chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 phase breakdown" in out
+        assert a_jsonl.read_bytes() == b_jsonl.read_bytes()
+        assert a_chrome.read_bytes() == b_chrome.read_bytes()
+        # The Chrome file is well-formed trace JSON.
+        doc = json.loads(a_chrome.read_text())
+        assert {"displayTimeUnit", "traceEvents"} <= set(doc)
+
+    def test_main_other_apps_run(self, capsys):
+        assert main(["--app", "rootkit"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

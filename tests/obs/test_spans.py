@@ -1,0 +1,160 @@
+"""Span hierarchy, platform wiring, and zero-overhead-when-disabled."""
+
+import pytest
+
+from repro.core import FlickerPlatform, PAL
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.obs import ObservabilityHub
+from repro.sim.clock import VirtualClock
+
+pytestmark = pytest.mark.obs
+
+
+class SealingPAL(PAL):
+    """Touches the TPM so sessions produce TPM child spans."""
+
+    name = "obs-sealing"
+    modules = ("tpm_utils",)
+
+    def run(self, ctx):
+        blob = ctx.tpm.seal_to_pal(b"secret", ctx.self_pcr17)
+        ctx.write_output(blob.encode())
+
+
+@pytest.fixture
+def observed_platform() -> FlickerPlatform:
+    return FlickerPlatform(seed=1234, observability=True)
+
+
+class TestHubBasics:
+    def test_clock_listener_builds_hierarchy(self):
+        clock = VirtualClock()
+        hub = ObservabilityHub(clock)
+        clock.set_span_listener(hub)
+        with clock.span("outer"):
+            with clock.span("inner"):
+                clock.advance(3.0)
+            clock.advance(1.0)
+        inner, outer = hub.spans
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration_ms == pytest.approx(3.0)
+        assert outer.duration_ms == pytest.approx(4.0)
+
+    def test_record_complete_parents_under_open_span(self):
+        clock = VirtualClock()
+        hub = ObservabilityHub(clock)
+        with hub.span("phase") as phase:
+            clock.advance(5.0)
+            tpm = hub.record_complete("tpm:seal", "tpm", duration_ms=5.0, op="seal")
+        assert tpm.parent_id == phase.span_id
+        assert tpm.start_ms == pytest.approx(0.0)
+        assert tpm.end_ms == pytest.approx(5.0)
+
+    def test_events_are_ordered_instants(self):
+        clock = VirtualClock()
+        hub = ObservabilityHub(clock)
+        hub.event("a")
+        clock.advance(1.0)
+        hub.event("b")
+        assert [(e.seq, e.name, e.time_ms) for e in hub.events] == [
+            (1, "a", 0.0), (2, "b", 1.0)]
+
+    def test_descendants_walks_whole_subtree(self):
+        clock = VirtualClock()
+        hub = ObservabilityHub(clock)
+        with hub.span("root") as root:
+            with hub.span("mid"):
+                with hub.span("leaf"):
+                    clock.advance(1.0)
+        names = {s.name for s in hub.descendants(root)}
+        assert names == {"mid", "leaf"}
+
+
+class TestPlatformWiring:
+    def test_disabled_by_default_and_zero_state(self):
+        platform = FlickerPlatform(seed=1234)
+        assert platform.obs is None
+        assert platform.machine.obs is None
+        assert platform.machine.tpm.obs is None
+        assert platform.machine.clock._span_listener is None
+
+    def test_enable_disable_roundtrip(self):
+        platform = FlickerPlatform(seed=1234)
+        hub = platform.machine.enable_observability()
+        assert platform.obs is hub
+        assert platform.machine.enable_observability() is hub  # idempotent
+        platform.machine.disable_observability()
+        assert platform.obs is None
+        assert platform.machine.tpm.obs is None
+
+    def test_session_hierarchy(self, observed_platform):
+        result = observed_platform.execute_pal(SealingPAL())
+        assert result.outputs
+        hub = observed_platform.obs
+        (session,) = hub.find_spans(name="session", category="session")
+        children = {s.name for s in hub.children(session)}
+        assert "flicker-session" in children
+        (attempt,) = hub.find_spans(name="flicker-session")
+        phases = {s.name for s in hub.children(attempt)}
+        assert {"init-slb", "suspend-os", "skinit", "restore-os"} <= phases
+        # TPM commands are children of the phase that issued them.
+        tpm_spans = hub.find_spans(category="tpm")
+        assert tpm_spans, "expected per-command TPM spans"
+        phase_ids = {s.span_id for s in hub.spans if s.category == "phase"}
+        assert all(s.parent_id in phase_ids for s in tpm_spans)
+
+    def test_spans_cover_virtual_time_consistently(self, observed_platform):
+        observed_platform.execute_pal(SealingPAL())
+        hub = observed_platform.obs
+        for span in hub.spans:
+            assert span.end_ms >= span.start_ms
+        (session,) = hub.find_spans(name="session")
+        for child in hub.descendants(session):
+            assert child.start_ms >= session.start_ms - 1e-9
+            assert child.end_ms <= session.end_ms + 1e-9
+
+    def test_session_metrics_recorded(self, observed_platform):
+        observed_platform.execute_pal(SealingPAL())
+        reg = observed_platform.obs.registry
+        assert reg.counter("sessions_total").value(pal="obs-sealing") == 1
+        assert reg.counter("skinit_total").value() == 1
+        assert reg.histogram("session_total_ms").count(pal="obs-sealing") == 1
+        assert reg.counter("tpm_commands_total").value(op="seal") == 1
+        assert reg.counter("session_module_links_total").value(module="tpm_utils") == 1
+
+    def test_retry_counters_and_events(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(kind="tpm-transient", session=0, op="seal", count=1),))
+        platform = FlickerPlatform(seed=1234, observability=True)
+        FaultInjector(plan).install(platform)
+        result = platform.execute_pal(SealingPAL())
+        assert result.retries == 1
+        reg = platform.obs.registry
+        assert reg.counter("session_retries_total").value(pal="obs-sealing") == 1
+        assert any(e.name == "session.retry" for e in platform.obs.events)
+
+
+class TestZeroOverheadSemantics:
+    def test_virtual_time_identical_with_and_without_obs(self):
+        """Observability must never perturb the simulation itself."""
+        base = FlickerPlatform(seed=1234).execute_pal(SealingPAL())
+        observed = FlickerPlatform(seed=1234, observability=True).execute_pal(
+            SealingPAL())
+        assert observed.total_ms == base.total_ms
+        assert observed.phase_ms == base.phase_ms
+        assert observed.tpm_ms == base.tpm_ms
+        assert observed.outputs == base.outputs
+
+    def test_mid_span_enable_does_not_corrupt(self):
+        """Wiring the hub while a clock span is open drops the orphan close."""
+        clock = VirtualClock()
+        hub = ObservabilityHub(clock)
+        with clock.span("outer"):
+            clock.set_span_listener(hub)
+            with clock.span("inner"):
+                clock.advance(1.0)
+        # 'outer' was opened before the listener existed: only 'inner' lands.
+        assert [s.name for s in hub.spans] == ["inner"]
+        assert hub.spans[0].parent_id is None
