@@ -1,0 +1,80 @@
+"""Fleet scaling — aggregate session throughput vs fleet size.
+
+The fleet's figure of merit: N client machines running the §6.2
+distributed-factoring workload *concurrently* complete ~N× the Flicker
+sessions of one machine in the same virtual interval, because each
+machine's TPM-dominated session cost is paid in parallel while the
+server's per-result verification (three RSA public ops, well under a
+millisecond) stays negligible.
+
+Writes the deterministic sweep results to ``BENCH_fleet.json`` at the
+repository root as the baseline the next change is compared against.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_table, record
+from repro.tools.fleet_report import run_fleet
+
+FLEET_SIZES = (1, 4, 16, 64)
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def sweep():
+    results = {}
+    for size in FLEET_SIZES:
+        started = time.perf_counter()
+        _, report = run_fleet(
+            machines=size, units_per_client=1, slice_ms=2000.0,
+            range_per_unit=400, seed=2008,
+        )
+        wall_s = time.perf_counter() - started
+        results[size] = report.to_dict()
+        # Simulator performance (machine-dependent, unlike everything
+        # else in the dict): how fast the host churns through sessions.
+        results[size]["wall_seconds"] = round(wall_s, 3)
+        results[size]["sessions_per_wall_second"] = round(
+            report.total_sessions / wall_s, 3)
+    return results
+
+
+def test_fleet_scaling(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    throughput = {
+        size: results[size]["sessions_per_virtual_second"] for size in FLEET_SIZES
+    }
+    print_table(
+        "Fleet scaling: distributed factoring, 1 unit per client",
+        ["Machines", "Sessions", "Makespan (ms)", "Sessions/vsec",
+         "Speedup", "Sessions/wsec", "Net bytes"],
+        [
+            (size,
+             results[size]["total_sessions"],
+             f"{results[size]['makespan_ms']:.1f}",
+             f"{throughput[size]:.3f}",
+             f"{throughput[size] / throughput[1]:.1f}x",
+             f"{results[size]['sessions_per_wall_second']:.1f}",
+             results[size]["network_bytes"])
+            for size in FLEET_SIZES
+        ],
+    )
+    record(benchmark, throughput={str(k): v for k, v in throughput.items()})
+
+    # Every unit on every fleet size verifies.
+    for size in FLEET_SIZES:
+        assert results[size]["units_accepted"] == size
+        assert results[size]["units_rejected"] == 0
+    # The scaling claim: 16 machines deliver >= 10x the aggregate virtual
+    # throughput of one machine (near-linear; the gap is network latency
+    # plus the server's serialized verification work).
+    assert throughput[16] >= 10.0 * throughput[1]
+    assert throughput[64] > throughput[16]
+
+    BASELINE_PATH.write_text(json.dumps(
+        {"workload": "distributed-factoring", "seed": 2008,
+         "units_per_client": 1, "slice_ms": 2000.0,
+         "sweep": {str(size): results[size] for size in FLEET_SIZES}},
+        sort_keys=True, separators=(", ", ": "),
+    ) + "\n")

@@ -29,7 +29,8 @@ def run_query(platform: FlickerPlatform):
     report = admin.run_detection_query()
     trace = platform.machine.trace
     session = platform.last_session
-    hash_events = trace.events(kind="hash", predicate=lambda e: e.detail["label"] == "kernel-measure")
+    hash_events = trace.events(
+        kind="hash", predicate=lambda e: e.detail["label"] == "kernel-measure")
     measured = {
         "skinit_ms": session.phase_ms["skinit"],
         "extend_ms": platform.machine.profile.tpm.extend_ms,

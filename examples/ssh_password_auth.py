@@ -42,7 +42,7 @@ def main() -> None:
     memory_hits = attacker.scan_memory_for(PASSWORD)
     print(f"    cleartext password in RAM:      {len(memory_hits)} hits")
     wire_hits = sum(
-        1 for _, _, payload in platform.network.message_log()
+        1 for _, _, payload in platform.network.messages()
         if isinstance(payload, bytes) and PASSWORD in payload
     )
     print(f"    cleartext password on the wire: {wire_hits} messages")

@@ -31,7 +31,13 @@ from repro.apps.distributed import (
     ProjectReport,
     DistributedPAL,
     FactoringWorkUnit,
+    FleetMachineOutcome,
+    FleetProject,
+    FleetProjectReport,
     ReplicationScheme,
+    StopWork,
+    UnitAssignment,
+    UnitResult,
     flicker_efficiency,
 )
 from repro.apps.ssh_auth import SSHPasswordPAL, SSHServer, SSHClient, PasswdEntry
@@ -57,7 +63,13 @@ __all__ = [
     "ProjectReport",
     "DistributedPAL",
     "FactoringWorkUnit",
+    "FleetMachineOutcome",
+    "FleetProject",
+    "FleetProjectReport",
     "ReplicationScheme",
+    "StopWork",
+    "UnitAssignment",
+    "UnitResult",
     "flicker_efficiency",
     "SSHPasswordPAL",
     "SSHServer",

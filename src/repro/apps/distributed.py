@@ -305,15 +305,19 @@ class BOINCServer:
         final_session: SessionResult,
         attestation: Attestation,
         nonce: bytes,
+        verifier=None,
     ) -> bool:
         """Verify an attested result; store it if sound.
 
         The expected PCR-17 chain includes the PAL's final result extend
-        (H(final state)), so a forged state cannot verify.
+        (H(final state)), so a forged state cannot verify.  Pass
+        ``verifier`` to reuse a held verifier (e.g. a fleet server's
+        per-client registry) instead of deriving one from the platform.
         """
         from repro.crypto.sha1 import sha1
 
-        verifier = platform.verifier()
+        if verifier is None:
+            verifier = platform.verifier()
         report = verifier.verify(
             attestation,
             final_session.image,
@@ -429,6 +433,290 @@ class BOINCProject:
             units_rejected=rejected,
             total_compute_ms=total_compute,
             useful_ms=useful,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The fleet deployment: many untrusted hosts, one verifying server (§6.2/§7.5)
+# ---------------------------------------------------------------------------
+
+#: Server-side cost of verifying one attested result: the quote signature
+#: and the AIK certificate are each one RSA public-key operation; the
+#: event-log replay is a handful of SHA-1s, charged as one more op's worth.
+VERIFY_PUBLIC_OPS = 3
+
+
+@dataclass(frozen=True)
+class UnitAssignment:
+    """Server → client message: run this unit, attest with this nonce."""
+
+    unit: FactoringWorkUnit
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class StopWork:
+    """Server → client message: no more units; the client process exits."""
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """Client → server message: a finished, attested work unit."""
+
+    machine_id: str
+    unit: FactoringWorkUnit
+    progress: ClientProgress
+    session: SessionResult
+    attestation: Attestation
+    nonce: bytes
+
+
+@dataclass
+class FleetMachineOutcome:
+    """One machine's contribution to a fleet project run."""
+
+    machine_id: str
+    units_accepted: int = 0
+    units_rejected: int = 0
+    sessions: int = 0
+    busy_ms: float = 0.0
+    idle_ms: float = 0.0
+    utilization: float = 0.0
+    useful_ms: float = 0.0
+    net_bytes: int = 0
+    net_messages: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "machine_id": self.machine_id,
+            "units_accepted": self.units_accepted,
+            "units_rejected": self.units_rejected,
+            "sessions": self.sessions,
+            "busy_ms": round(self.busy_ms, 6),
+            "idle_ms": round(self.idle_ms, 6),
+            "utilization": round(self.utilization, 6),
+            "useful_ms": round(self.useful_ms, 6),
+            "net_bytes": self.net_bytes,
+            "net_messages": self.net_messages,
+        }
+
+
+@dataclass
+class FleetProjectReport:
+    """Outcome of one concurrent fleet run (the Figure 8 deployment)."""
+
+    fleet_size: int
+    units_issued: int
+    units_accepted: int
+    units_rejected: int
+    #: Global virtual time from start to last verified result (ms).
+    makespan_ms: float
+    #: Flicker sessions across all client machines.
+    total_sessions: int
+    #: Virtual compute across the fleet (sum of per-machine busy time).
+    total_busy_ms: float
+    #: Application-work share of that time.
+    useful_ms: float
+    #: Payload bytes carried by all links, both directions.
+    network_bytes: int
+    network_messages: int
+    per_machine: List[FleetMachineOutcome] = field(default_factory=list)
+
+    @property
+    def efficiency(self) -> float:
+        """Useful-work fraction across the fleet (Figure 8's metric)."""
+        return self.useful_ms / self.total_busy_ms if self.total_busy_ms else 0.0
+
+    @property
+    def sessions_per_virtual_second(self) -> float:
+        """Aggregate session throughput in *virtual* time — the fleet's
+        scaling figure of merit: N concurrent machines complete ~N times
+        the sessions of one machine in the same virtual interval."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.total_sessions / (self.makespan_ms / 1000.0)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly, byte-deterministic encoding."""
+        return {
+            "fleet_size": self.fleet_size,
+            "units_issued": self.units_issued,
+            "units_accepted": self.units_accepted,
+            "units_rejected": self.units_rejected,
+            "makespan_ms": round(self.makespan_ms, 6),
+            "total_sessions": self.total_sessions,
+            "total_busy_ms": round(self.total_busy_ms, 6),
+            "useful_ms": round(self.useful_ms, 6),
+            "efficiency": round(self.efficiency, 6),
+            "sessions_per_virtual_second": round(self.sessions_per_virtual_second, 6),
+            "network_bytes": self.network_bytes,
+            "network_messages": self.network_messages,
+            "per_machine": [m.to_dict() for m in self.per_machine],
+        }
+
+
+class FleetProject:
+    """§6.2's distributed project run *concurrently* on a fleet.
+
+    The server host dispatches work units over each client's network
+    link, every client machine computes inside its own Flicker sessions
+    (interleaved in virtual time with all the others), and the server
+    verifies each attestation as it arrives — no barrier between
+    clients, exactly one verification per returned unit.
+
+    Usage::
+
+        fleet = FlickerFleet(num_machines=4, seed=2008)
+        project = FleetProject(fleet, n=15015 * 1_000_003,
+                               units_per_client=2, slice_ms=2000.0)
+        report = project.run()
+
+    The run is deterministic: same fleet seed and shape → byte-identical
+    :meth:`FleetProjectReport.to_dict` output.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        n: int,
+        units_per_client: int = 1,
+        slice_ms: float = 2000.0,
+        range_per_unit: int = 400,
+        os_gap_ms: float = 0.0,
+    ) -> None:
+        self.fleet = fleet
+        self.server = BOINCServer(n=n, range_per_unit=range_per_unit)
+        self.units_per_client = units_per_client
+        self.slice_ms = slice_ms
+        #: Virtual time the untrusted OS keeps the machine between slices
+        #: (0 = immediately start the next session).
+        self.os_gap_ms = os_gap_ms
+        self._nonce_counter = 0
+        self._assigned: Dict[str, int] = {}
+        self._outcomes: Dict[str, FleetMachineOutcome] = {}
+        self._finished_at_ms = 0.0
+
+    # -- server side -----------------------------------------------------------
+
+    def _fresh_nonce(self) -> bytes:
+        from repro.crypto.sha1 import sha1
+
+        self._nonce_counter += 1
+        return sha1(b"fleet-server" + self._nonce_counter.to_bytes(8, "big"))
+
+    def _dispatch(self, host) -> None:
+        """Assign the next unit to ``host`` (or tell it to stop)."""
+        if self._assigned[host.machine_id] >= self.units_per_client:
+            self.fleet.send_to_host(host, StopWork())
+            return
+        self._assigned[host.machine_id] += 1
+        self.fleet.send_to_host(
+            host, UnitAssignment(unit=self.server.issue_unit(),
+                                 nonce=self._fresh_nonce())
+        )
+
+    def _verify(self, message: UnitResult) -> bool:
+        """Verify one arriving result on the server host's clock."""
+        clock = self.fleet.server_clock
+        host = self.fleet.host(message.machine_id)
+        ops_ms = self.fleet.profile.host.rsa1024_public_op_ms * VERIFY_PUBLIC_OPS
+        with clock.span("verify-result"):
+            clock.advance(ops_ms)
+        return self.server.accept_result(
+            host.platform, message.unit, message.progress,
+            message.session, message.attestation, message.nonce,
+            verifier=self.fleet.verifier_for(message.machine_id),
+        )
+
+    def _server_proc(self):
+        expected = len(self.fleet.hosts) * self.units_per_client
+        for host in self.fleet.hosts:
+            self._assigned[host.machine_id] = 0
+            self._outcomes[host.machine_id] = FleetMachineOutcome(host.machine_id)
+            self._dispatch(host)
+        received = 0
+        while received < expected:
+            message = yield self.fleet.server_mailbox.receive()
+            received += 1
+            outcome = self._outcomes[message.machine_id]
+            if self._verify(message):
+                outcome.units_accepted += 1
+            else:
+                outcome.units_rejected += 1
+            self._finished_at_ms = self.fleet.server_clock.now()
+            self._dispatch(self.fleet.host(message.machine_id))
+
+    # -- client side -----------------------------------------------------------
+
+    def _client_proc(self, host):
+        client = BOINCClient(host.platform)
+        while True:
+            message = yield host.mailbox.receive()
+            if isinstance(message, StopWork):
+                return
+            progress = client.start_unit(message.unit)
+            result = None
+            while not progress.done:
+                # The OS gets the machine back between slices (§6.2); the
+                # yield is the scheduling point that lets every other
+                # machine's earlier events run first.
+                yield self.os_gap_ms
+                progress, result = client.work_slice(
+                    progress, self.slice_ms, nonce=message.nonce
+                )
+            attestation = host.platform.attest(message.nonce, result)
+            self.fleet.send_to_server(host, UnitResult(
+                machine_id=host.machine_id,
+                unit=message.unit,
+                progress=progress,
+                session=result,
+                attestation=attestation,
+                nonce=message.nonce,
+            ))
+
+    # -- orchestration ---------------------------------------------------------
+
+    def run(self) -> FleetProjectReport:
+        """Spawn every process, drive the schedule dry, and report."""
+        for host in self.fleet.hosts:
+            self.fleet.spawn(host, self._client_proc(host))
+        self.fleet.spawn_server(self._server_proc())
+        self.fleet.run()
+        return self._build_report()
+
+    def _useful_ms(self, host) -> float:
+        return sum(
+            e.detail["ms"]
+            for e in host.machine.trace.events(source="cpu", kind="work")
+            if e.detail.get("label") == "factoring-work"
+        )
+
+    def _build_report(self) -> FleetProjectReport:
+        per_machine: List[FleetMachineOutcome] = []
+        for host, stats in zip(self.fleet.hosts, self.fleet.machine_reports()):
+            outcome = self._outcomes.get(
+                host.machine_id, FleetMachineOutcome(host.machine_id)
+            )
+            outcome.sessions = stats.sessions
+            outcome.busy_ms = stats.busy_ms
+            outcome.idle_ms = stats.idle_ms
+            outcome.utilization = stats.utilization
+            outcome.useful_ms = self._useful_ms(host)
+            outcome.net_bytes = stats.net_bytes
+            outcome.net_messages = stats.net_messages
+            per_machine.append(outcome)
+        return FleetProjectReport(
+            fleet_size=len(self.fleet.hosts),
+            units_issued=self.server._next_unit,
+            units_accepted=sum(m.units_accepted for m in per_machine),
+            units_rejected=sum(m.units_rejected for m in per_machine),
+            makespan_ms=self._finished_at_ms,
+            total_sessions=sum(m.sessions for m in per_machine),
+            total_busy_ms=sum(m.busy_ms for m in per_machine),
+            useful_ms=sum(m.useful_ms for m in per_machine),
+            network_bytes=sum(m.net_bytes for m in per_machine),
+            network_messages=sum(m.net_messages for m in per_machine),
+            per_machine=per_machine,
         )
 
 

@@ -17,6 +17,8 @@ The package implements the paper's architecture (§4):
   sysfs control surface.
 * :mod:`repro.core.session` — one-call session orchestration plus the
   Figure 2 timeline.
+* :mod:`repro.core.fleet` — many platforms on one discrete-event
+  schedule (the §6.2 many-untrusted-hosts deployment).
 * :mod:`repro.core.attestation` — quote verification for remote parties.
 * :mod:`repro.core.sealed_storage` — PAL-to-PAL sealed storage with the
   Figure 4 replay-protection protocol.
@@ -30,6 +32,7 @@ from repro.core.pal import PAL, PALContext
 from repro.core.modules import MODULE_REGISTRY, ModuleDescriptor
 from repro.core.slb import SLBImage, build_slb, expected_pcr17_after_launch
 from repro.core.flicker_module import FlickerModule
+from repro.core.fleet import FleetHost, FlickerFleet, MachineReport
 from repro.core.session import FlickerPlatform, SessionResult
 from repro.core.attestation import FlickerVerifier, Attestation, SENTINEL_MEASUREMENT
 from repro.core.sealed_storage import ReplayProtectedStorage
@@ -47,6 +50,9 @@ __all__ = [
     "expected_pcr17_after_launch",
     "FlickerModule",
     "FlickerPlatform",
+    "FlickerFleet",
+    "FleetHost",
+    "MachineReport",
     "SessionResult",
     "FlickerVerifier",
     "Attestation",

@@ -1,0 +1,261 @@
+"""Multi-machine Flicker deployments on one discrete-event schedule.
+
+A :class:`FlickerFleet` assembles N independent
+:class:`~repro.core.session.FlickerPlatform` machines — each with its own
+TPM, AIK, Privacy CA, and per-machine :class:`~repro.sim.sched.ScheduledClock`
+— plus one verifier/server host, all registered with a shared
+:class:`~repro.sim.sched.EventScheduler`.  This is the deployment shape
+the paper's §6.2/§7.5 distributed-computing application envisions: many
+untrusted client machines compute inside Flicker sessions while a server
+verifies attestations as they arrive over the network.
+
+Concurrency model
+-----------------
+Machine-local work (a Flicker session, a TPM command burst) runs
+synchronously on that machine's clock, exactly as in the single-machine
+simulation — which is why one-machine fleet runs reproduce the legacy
+Figure 2 timings bit-for-bit.  Machines interleave at *scheduling
+points*: network deliveries, mailbox waits, and explicit yields inside
+:class:`~repro.sim.sched.Process` generators.  All interleaving is
+resolved by the scheduler's ``(time, seq)`` order, so a seeded fleet
+scenario replays byte-identically.
+
+Networking
+----------
+Each client has its own :class:`~repro.osim.network.NetworkLink` to the
+server with the profile's one-way latency, optional seeded jitter, and
+in-order delivery.  Messages land in :class:`~repro.sim.sched.Mailbox`\\ es
+that wake the receiving process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.attestation import FlickerVerifier
+from repro.core.session import FlickerPlatform, RetryPolicy
+from repro.osim.network import NetworkLink
+from repro.sim.rng import DeterministicRNG
+from repro.sim.sched import EventScheduler, Mailbox, Process, ScheduledClock
+from repro.sim.timing import DEFAULT_PROFILE, TimingProfile
+
+#: The server/verifier host's machine id.
+SERVER_ID = "server"
+
+
+def derive_machine_seed(fleet_seed: int, index: int) -> int:
+    """Deterministic per-machine platform seed (stable in ``index``:
+    growing the fleet never reseeds existing machines)."""
+    return DeterministicRNG(fleet_seed).fork(f"machine:{index}").randbits(48)
+
+
+@dataclass
+class FleetHost:
+    """One client machine: platform + clock + link + inbound mailbox."""
+
+    machine_id: str
+    platform: FlickerPlatform
+    clock: ScheduledClock
+    link: NetworkLink
+    mailbox: Mailbox
+
+    @property
+    def machine(self):
+        """The underlying simulated machine."""
+        return self.platform.machine
+
+    def sessions_run(self) -> int:
+        """Flicker sessions this machine has executed (SKINIT count)."""
+        return len(self.machine.trace.events(source="cpu", kind="skinit"))
+
+
+@dataclass
+class MachineReport:
+    """Per-machine activity summary for one fleet run."""
+
+    machine_id: str
+    sessions: int
+    busy_ms: float
+    idle_ms: float
+    utilization: float
+    net_messages: int
+    net_bytes: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly (and byte-deterministic, keys sorted by caller)."""
+        return {
+            "machine_id": self.machine_id,
+            "sessions": self.sessions,
+            "busy_ms": round(self.busy_ms, 6),
+            "idle_ms": round(self.idle_ms, 6),
+            "utilization": round(self.utilization, 6),
+            "net_messages": self.net_messages,
+            "net_bytes": self.net_bytes,
+        }
+
+
+class FlickerFleet:
+    """N Flicker client machines plus one verifier/server host."""
+
+    def __init__(
+        self,
+        num_machines: int,
+        seed: int = 2008,
+        profile: TimingProfile = DEFAULT_PROFILE,
+        jitter_ms: float = 0.0,
+        observability: bool = False,
+        machine_seeds: Optional[List[int]] = None,
+        functional_rsa_bits: int = 512,
+        tpm_key_bits: int = 512,
+        retry_policy: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        if num_machines < 1:
+            raise ValueError("a fleet needs at least one machine")
+        if machine_seeds is not None and len(machine_seeds) != num_machines:
+            raise ValueError("machine_seeds must list one seed per machine")
+        self.seed = seed
+        self.profile = profile
+        self.observability = observability
+        self.scheduler = EventScheduler(seed=seed)
+        #: The verifier/server host's clock (it does no Flicker sessions,
+        #: but verification work and dispatch decisions charge time here).
+        self.server_clock = ScheduledClock(self.scheduler, machine_id=SERVER_ID)
+        self.server_mailbox = Mailbox(self.scheduler, name=SERVER_ID)
+        self.server_hub = None
+        if observability:
+            from repro.obs import ObservabilityHub
+
+            self.server_hub = ObservabilityHub(self.server_clock, machine=SERVER_ID)
+            self.server_clock.set_span_listener(self.server_hub)
+        self.hosts: List[FleetHost] = []
+        for index in range(num_machines):
+            machine_id = f"client-{index:02d}"
+            clock = ScheduledClock(self.scheduler, machine_id=machine_id)
+            platform_seed = (machine_seeds[index] if machine_seeds is not None
+                             else derive_machine_seed(seed, index))
+            platform = FlickerPlatform(
+                profile=profile,
+                seed=platform_seed,
+                functional_rsa_bits=functional_rsa_bits,
+                tpm_key_bits=tpm_key_bits,
+                retry_policy=retry_policy,
+                observability=observability,
+                clock=clock,
+                machine_id=machine_id,
+            )
+            link = NetworkLink(
+                clock,
+                platform.machine.trace,
+                one_way_ms=profile.host.network_one_way_ms,
+                hops=profile.host.network_hops,
+                scheduler=self.scheduler,
+                jitter_ms=jitter_ms,
+                rng=self.scheduler.rng(f"net:{machine_id}"),
+                name=f"{machine_id}<->{SERVER_ID}",
+            )
+            self.hosts.append(FleetHost(
+                machine_id=machine_id,
+                platform=platform,
+                clock=clock,
+                link=link,
+                mailbox=Mailbox(self.scheduler, name=machine_id),
+            ))
+        self._verifiers: Dict[str, FlickerVerifier] = {}
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def host(self, machine_id: str) -> FleetHost:
+        """The client host with the given machine id."""
+        for host in self.hosts:
+            if host.machine_id == machine_id:
+                return host
+        raise KeyError(f"no fleet machine {machine_id!r}")
+
+    def verifier_for(self, machine_id: str) -> FlickerVerifier:
+        """The server's verifier trusting ``machine_id``'s Privacy CA.
+
+        Each machine carries its own TPM/AIK certified by its own Privacy
+        CA; the server-side verifier registry models the CA public keys a
+        real project server would hold for its enrolled clients.
+        """
+        if machine_id not in self._verifiers:
+            self._verifiers[machine_id] = self.host(machine_id).platform.verifier()
+        return self._verifiers[machine_id]
+
+    # -- processes -------------------------------------------------------------
+
+    def spawn_server(self, generator: Generator, name: str = SERVER_ID) -> Process:
+        """Run ``generator`` as the server host's cooperative process."""
+        return Process(self.scheduler, self.server_clock, generator, name=name)
+
+    def spawn(self, host: FleetHost, generator: Generator,
+              name: Optional[str] = None) -> Process:
+        """Run ``generator`` as a cooperative process on ``host``."""
+        return Process(self.scheduler, host.clock, generator,
+                       name=name or host.machine_id)
+
+    # -- messaging -------------------------------------------------------------
+
+    def send_to_server(self, host: FleetHost, payload: Any):
+        """Client → server message; arrives in the server mailbox."""
+        return host.link.deliver(host.machine_id, SERVER_ID, payload,
+                                 self.server_mailbox.put,
+                                 now_ms=host.clock.now())
+
+    def send_to_host(self, host: FleetHost, payload: Any):
+        """Server → client message; arrives in the host's mailbox."""
+        return host.link.deliver(SERVER_ID, host.machine_id, payload,
+                                 host.mailbox.put,
+                                 now_ms=self.server_clock.now())
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, until_ms: Optional[float] = None) -> float:
+        """Drive the schedule until idle (or ``until_ms``); returns the
+        final global virtual time."""
+        return self.scheduler.run(until_ms=until_ms)
+
+    # -- reporting -------------------------------------------------------------
+
+    def machine_reports(self) -> List[MachineReport]:
+        """Per-machine activity summaries (clients, then the server)."""
+        reports = []
+        for host in self.hosts:
+            reports.append(MachineReport(
+                machine_id=host.machine_id,
+                sessions=host.sessions_run(),
+                busy_ms=host.clock.busy_ms,
+                idle_ms=host.clock.idle_ms,
+                utilization=host.clock.utilization,
+                net_messages=host.link.messages_carried,
+                net_bytes=host.link.bytes_carried,
+            ))
+        reports.append(MachineReport(
+            machine_id=SERVER_ID,
+            sessions=0,
+            busy_ms=self.server_clock.busy_ms,
+            idle_ms=self.server_clock.idle_ms,
+            utilization=self.server_clock.utilization,
+            net_messages=sum(h.link.messages_carried for h in self.hosts),
+            net_bytes=sum(h.link.bytes_carried for h in self.hosts),
+        ))
+        return reports
+
+    def hubs(self) -> Dict[str, Any]:
+        """machine id → observability hub (for fleet Chrome export)."""
+        out: Dict[str, Any] = {}
+        for host in self.hosts:
+            if host.platform.obs is not None:
+                out[host.machine_id] = host.platform.obs
+        if self.server_hub is not None:
+            out[SERVER_ID] = self.server_hub
+        return out
+
+    def traces(self) -> Dict[str, Any]:
+        """machine id → raw event trace (clients only; the server host
+        is pure software and has no machine trace)."""
+        return {host.machine_id: host.machine.trace for host in self.hosts}

@@ -111,6 +111,8 @@ class FlickerPlatform:
         launch: str = "svm",
         retry_policy: RetryPolicy = RetryPolicy(),
         observability: bool = False,
+        clock=None,
+        machine_id: Optional[str] = None,
     ) -> None:
         acm = None
         intel_authority = None
@@ -127,6 +129,8 @@ class FlickerPlatform:
             tpm_key_bits=tpm_key_bits,
             multicore_isolation=multicore_isolation,
             intel_acm_authority=intel_authority,
+            clock=clock,
+            machine_id=machine_id,
         )
         self.kernel = UntrustedKernel(self.machine)
         self.flicker = FlickerModule(
@@ -152,6 +156,11 @@ class FlickerPlatform:
     def obs(self):
         """The machine's observability hub, or ``None`` when disabled."""
         return self.machine.obs
+
+    @property
+    def machine_id(self) -> Optional[str]:
+        """Fleet identity of this platform's machine (``None`` standalone)."""
+        return self.machine.machine_id
 
     # -- building and installing SLBs -----------------------------------------------
 
@@ -333,11 +342,14 @@ class FlickerPlatform:
             if event.kind in cost:
                 totals[event.kind] = totals.get(event.kind, 0.0) + cost[event.kind]
             elif event.kind == "seal":
-                totals["seal"] = totals.get("seal", 0.0) + timings.seal_ms(event.detail["nbytes"])
+                totals["seal"] = (totals.get("seal", 0.0)
+                                  + timings.seal_ms(event.detail["nbytes"]))
             elif event.kind == "unseal":
-                totals["unseal"] = totals.get("unseal", 0.0) + timings.unseal_ms(event.detail["nbytes"])
+                totals["unseal"] = (totals.get("unseal", 0.0)
+                                    + timings.unseal_ms(event.detail["nbytes"]))
             elif event.kind == "get_random":
-                totals["get_random"] = totals.get("get_random", 0.0) + timings.getrandom_ms(event.detail["nbytes"])
+                totals["get_random"] = (totals.get("get_random", 0.0)
+                                        + timings.getrandom_ms(event.detail["nbytes"]))
         return totals
 
     # -- attestation -----------------------------------------------------------------------

@@ -22,7 +22,14 @@ See ``docs/FAULTS.md`` for the injection-point catalogue and usage.
 """
 
 from repro.faults.injector import INJECTION_POINTS, FaultInjector
-from repro.faults.plan import FAULT_KINDS, TPM_FAULT_OPS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    ANY_MACHINE,
+    ANY_SESSION,
+    FAULT_KINDS,
+    TPM_FAULT_OPS,
+    FaultPlan,
+    FaultSpec,
+)
 
 #: Campaign symbols are re-exported lazily (PEP 562) so that running
 #: ``python -m repro.faults.campaign`` does not import the module twice.
@@ -37,6 +44,8 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "ANY_MACHINE",
+    "ANY_SESSION",
     "FAULT_KINDS",
     "INJECTION_POINTS",
     "OUTCOMES",

@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.crypto.sha1 import sha1_cached as sha1
 from repro.errors import FaultPlanError, PALRuntimeError, TPMPermanentError, TPMTransientError
-from repro.faults.plan import ANY_SESSION, FaultPlan, FaultSpec
+from repro.faults.plan import ANY_MACHINE, ANY_SESSION, FaultPlan, FaultSpec
 from repro.osim.attacker import Attacker, ProbeResult
 from repro.tpm.nvram import flip_bit
 
@@ -69,13 +69,20 @@ class FaultInjector:
         self._in_pal = False
         self._skewed = False
         self._platform = None
+        self._machine_id: Optional[str] = None
         self._attacker: Optional[Attacker] = None
 
     # -- wiring ---------------------------------------------------------------
 
     def install(self, platform) -> "FaultInjector":
-        """Attach to a :class:`~repro.core.session.FlickerPlatform`."""
+        """Attach to a :class:`~repro.core.session.FlickerPlatform`.
+
+        On a fleet machine (one carrying a machine id), specs addressed
+        to *other* machines never arm here — a single plan can drive a
+        whole fleet with each injector seeing only its own faults.
+        """
         self._platform = platform
+        self._machine_id = platform.machine.machine_id
         platform.machine.fault_injector = self
         return self
 
@@ -93,6 +100,8 @@ class FaultInjector:
             if spec.kind not in kinds:
                 continue
             if spec.session not in (ANY_SESSION, self._session_index):
+                continue
+            if spec.machine not in (ANY_MACHINE, self._machine_id):
                 continue
             if spec.op and spec.op != op:
                 continue

@@ -40,6 +40,10 @@ TPM_FAULT_OPS = (
 #: Spec ``session`` value meaning "any session".
 ANY_SESSION = -1
 
+#: Spec ``machine`` value meaning "any machine" (the empty string, so
+#: plans written before fleets existed deserialize unchanged).
+ANY_MACHINE = ""
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -51,7 +55,9 @@ class FaultSpec:
     one command (empty = any).  ``count`` bounds how many times the fault
     fires (ignored for ``tpm-permanent``, which by definition never heals).
     ``magnitude`` parameterizes the kind: the bit index for corruptions,
-    the skew percentage for ``clock-skew``.
+    the skew percentage for ``clock-skew``.  ``machine`` addresses one
+    fleet machine by id (:data:`ANY_MACHINE` = any machine — including
+    single-machine platforms, which carry no machine id at all).
     """
 
     kind: str
@@ -59,6 +65,7 @@ class FaultSpec:
     op: str = ""
     count: int = 1
     magnitude: int = 0
+    machine: str = ANY_MACHINE
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -121,6 +128,20 @@ class FaultPlan:
                           magnitude=magnitude)
             )
         return cls(seed=seed, specs=tuple(specs))
+
+    def for_machine(self, machine_id: str) -> "FaultPlan":
+        """The sub-plan addressed to ``machine_id``.
+
+        Keeps every spec that names that machine or any machine, so one
+        campaign plan can be split across a fleet: install
+        ``plan.for_machine(host.machine_id)`` on each host and only the
+        addressed machines see their faults.
+        """
+        return FaultPlan(
+            seed=self.seed,
+            specs=tuple(s for s in self.specs
+                        if s.machine in (ANY_MACHINE, machine_id)),
+        )
 
     # -- serialization -------------------------------------------------------
 

@@ -51,9 +51,19 @@ class Machine:
         intel_acm_authority=None,
         multicore_isolation: bool = False,
         tpm_jitter_fraction: float = 0.0,
+        clock: Optional[VirtualClock] = None,
+        machine_id: Optional[str] = None,
     ) -> None:
         self.profile = profile
-        self.clock = VirtualClock()
+        #: The machine's clock: a plain :class:`VirtualClock` by default
+        #: (one serial timeline), or a caller-supplied
+        #: :class:`~repro.sim.sched.ScheduledClock` when this machine is
+        #: one of many on a shared event schedule.
+        self.clock = clock if clock is not None else VirtualClock()
+        #: Fleet identity (``None`` on standalone machines).  Stamped into
+        #: observability spans/events so exported traces get one track per
+        #: machine, and used to address fault-injection specs per machine.
+        self.machine_id = machine_id
         self.trace = EventTrace()
         self.rng = DeterministicRNG(seed)
         self.memory = PhysicalMemory(memory_bytes)
@@ -111,7 +121,7 @@ class Machine:
         if self.obs is None:
             from repro.obs import ObservabilityHub
 
-            self.obs = ObservabilityHub(self.clock)
+            self.obs = ObservabilityHub(self.clock, machine=self.machine_id)
             self.clock.set_span_listener(self.obs)
             self.tpm.obs = self.obs
         return self.obs

@@ -31,6 +31,7 @@ Figure 2 / Table 2 style report.
 
 from repro.obs.export import (
     export_chrome_trace,
+    export_fleet_chrome_trace,
     export_jsonl,
     metrics_to_jsonl,
     trace_to_chrome_events,
@@ -53,6 +54,7 @@ __all__ = [
     "ObservabilityHub",
     "Span",
     "export_chrome_trace",
+    "export_fleet_chrome_trace",
     "export_jsonl",
     "metrics_to_jsonl",
     "trace_to_chrome_events",

@@ -96,30 +96,73 @@ def export_jsonl(hub: "ObservabilityHub") -> str:
 
 # -- Chrome trace_event -------------------------------------------------------
 
-#: All events share one virtual process/thread: the simulated platform.
+#: Default virtual process/thread: the (single) simulated platform.
+#: Spans/events carrying a ``machine`` attribute are mapped to their own
+#: pid instead, so a fleet trace renders one track per machine.
 _PID = 1
 _TID = 1
 
 
-def trace_to_chrome_events(trace: "EventTrace") -> List[Dict[str, Any]]:
+def _machine_pids(machines) -> Dict[Any, int]:
+    """Deterministic machine-label → pid assignment.
+
+    ``None`` (no machine attribute) keeps the legacy pid 1; named
+    machines get pids 2, 3, ... in sorted-label order, so the mapping —
+    and hence the exported bytes — never depends on event order.
+    """
+    mapping: Dict[Any, int] = {None: _PID}
+    for offset, label in enumerate(sorted(m for m in machines if m is not None)):
+        mapping[label] = _PID + 1 + offset
+    return mapping
+
+
+def trace_to_chrome_events(
+    trace: "EventTrace", machine: str = None, pid: int = _PID
+) -> List[Dict[str, Any]]:
     """Instant events for every :class:`~repro.sim.trace.TraceEvent`.
 
     The trace is totally ordered by emission; virtual timestamps alone
     cannot encode that (several events may share one timestamp), so each
     event carries its position as ``args["seq"]`` — sorting by
-    ``(ts, args.seq)`` reconstructs the exact original order.
+    ``(ts, args.seq)`` reconstructs the exact original order.  Pass
+    ``machine``/``pid`` to place the events on a fleet machine's track.
     """
     events: List[Dict[str, Any]] = []
     for seq, event in enumerate(trace):
+        args = {"seq": seq, **{k: v for k, v in sorted(event.detail.items())}}
+        if machine is not None:
+            args.setdefault("machine", machine)
         events.append({
             "ph": "i",
             "s": "t",
             "name": f"{event.source}/{event.kind}",
             "cat": event.source,
             "ts": event.time_ms * 1000.0,
-            "pid": _PID,
+            "pid": pid,
             "tid": _TID,
-            "args": {"seq": seq, **{k: v for k, v in sorted(event.detail.items())}},
+            "args": args,
+        })
+    return events
+
+
+def _process_metadata(pids: Dict[Any, int]) -> List[Dict[str, Any]]:
+    """One ``process_name`` metadata record per track, default first."""
+    events: List[Dict[str, Any]] = [{
+        "ph": "M",
+        "name": "process_name",
+        "pid": _PID,
+        "tid": _TID,
+        "args": {"name": "flicker-virtual-platform"},
+    }]
+    for label, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        if label is None:
+            continue
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": _TID,
+            "args": {"name": f"flicker-virtual-platform/{label}"},
         })
     return events
 
@@ -131,15 +174,16 @@ def export_chrome_trace(
 
     Load the result in Perfetto (https://ui.perfetto.dev) or
     ``chrome://tracing``; virtual milliseconds appear as microseconds
-    scaled by 1000 with ``displayTimeUnit`` set to ``ms``.
+    scaled by 1000 with ``displayTimeUnit`` set to ``ms``.  Spans and
+    events whose args carry a ``machine`` label are emitted on that
+    machine's own track (distinct pid); without machine labels the
+    output is byte-identical to the single-track format.
     """
-    events: List[Dict[str, Any]] = [{
-        "ph": "M",
-        "name": "process_name",
-        "pid": _PID,
-        "tid": _TID,
-        "args": {"name": "flicker-virtual-platform"},
-    }]
+    pids = _machine_pids(
+        {s.args.get("machine") for s in hub.spans}
+        | {e.args.get("machine") for e in hub.events}
+    )
+    events: List[Dict[str, Any]] = _process_metadata(pids)
     for span in sorted(hub.spans, key=lambda s: (s.start_ms, s.span_id)):
         events.append({
             "ph": "X",
@@ -147,7 +191,7 @@ def export_chrome_trace(
             "cat": span.category,
             "ts": span.start_ms * 1000.0,
             "dur": span.duration_ms * 1000.0,
-            "pid": _PID,
+            "pid": pids[span.args.get("machine")],
             "tid": _TID,
             "args": {"id": span.span_id, "parent": span.parent_id, **span.args},
         })
@@ -158,11 +202,62 @@ def export_chrome_trace(
             "name": event.name,
             "cat": event.category,
             "ts": event.time_ms * 1000.0,
-            "pid": _PID,
+            "pid": pids[event.args.get("machine")],
             "tid": _TID,
             "args": {"seq": event.seq, **event.args},
         })
     if trace is not None:
         events.extend(trace_to_chrome_events(trace))
+    doc = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(doc, sort_keys=True, separators=(", ", ": ")) + "\n"
+
+
+def export_fleet_chrome_trace(
+    hubs: Dict[str, "ObservabilityHub"],
+    traces: Dict[str, "EventTrace"] = None,
+) -> str:
+    """A merged Trace Event export for a whole fleet.
+
+    ``hubs`` maps machine id → that machine's hub (``traces`` likewise,
+    optional).  Each machine's spans/events land on its own track; span
+    ids are per-machine namespaces, so cross-machine span ids may repeat
+    — the ``machine`` arg disambiguates.  Machines are merged in sorted
+    id order for byte-deterministic output.
+    """
+    pids = _machine_pids(set(hubs))
+    events: List[Dict[str, Any]] = _process_metadata(pids)
+    for machine in sorted(hubs):
+        hub = hubs[machine]
+        pid = pids[machine]
+        for span in sorted(hub.spans, key=lambda s: (s.start_ms, s.span_id)):
+            args = {"id": span.span_id, "parent": span.parent_id, **span.args}
+            args.setdefault("machine", machine)
+            events.append({
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start_ms * 1000.0,
+                "dur": span.duration_ms * 1000.0,
+                "pid": pid,
+                "tid": _TID,
+                "args": args,
+            })
+        for event in hub.events:
+            args = {"seq": event.seq, **event.args}
+            args.setdefault("machine", machine)
+            events.append({
+                "ph": "i",
+                "s": "t",
+                "name": event.name,
+                "cat": event.category,
+                "ts": event.time_ms * 1000.0,
+                "pid": pid,
+                "tid": _TID,
+                "args": args,
+            })
+        if traces is not None and machine in traces:
+            events.extend(
+                trace_to_chrome_events(traces[machine], machine=machine, pid=pid)
+            )
     doc = {"displayTimeUnit": "ms", "traceEvents": events}
     return json.dumps(doc, sort_keys=True, separators=(", ", ": ")) + "\n"

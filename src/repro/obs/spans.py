@@ -85,9 +85,15 @@ class ObservabilityHub:
     hub pays only one attribute test per instrumentation site.
     """
 
-    def __init__(self, clock: VirtualClock, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(self, clock: VirtualClock, registry: Optional[MetricsRegistry] = None,
+                 machine: Optional[str] = None) -> None:
         self.clock = clock
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Fleet identity stamped into every span/event's args (``None``
+        #: on standalone platforms keeps exports byte-identical to the
+        #: pre-fleet format).  Exporters map distinct machines to
+        #: distinct Chrome-trace tracks.
+        self.machine = machine
         #: Completed spans, in close order (deterministic).
         self.spans: List[Span] = []
         #: Instant events, in emission order.
@@ -98,6 +104,12 @@ class ObservabilityHub:
 
     # -- direct span API ------------------------------------------------------
 
+    def _stamp(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Tag ``args`` with this hub's machine identity, if it has one."""
+        if self.machine is not None:
+            args.setdefault("machine", self.machine)
+        return args
+
     def open_span(self, name: str, category: str = "span", **args: Any) -> Span:
         """Open a span starting now; it becomes the parent of later opens."""
         span = Span(
@@ -106,7 +118,7 @@ class ObservabilityHub:
             category=category,
             start_ms=self.clock.now(),
             parent_id=self._open[-1].span_id if self._open else None,
-            args=dict(args),
+            args=self._stamp(dict(args)),
         )
         self._next_id += 1
         self._open.append(span)
@@ -151,7 +163,7 @@ class ObservabilityHub:
             start_ms=end - duration_ms,
             end_ms=end,
             parent_id=self._open[-1].span_id if self._open else None,
-            args=dict(args),
+            args=self._stamp(dict(args)),
         )
         self._next_id += 1
         self.spans.append(span)
@@ -164,7 +176,7 @@ class ObservabilityHub:
             name=name,
             category=category,
             time_ms=self.clock.now(),
-            args=dict(args),
+            args=self._stamp(dict(args)),
         )
         self._next_seq += 1
         self.events.append(event)

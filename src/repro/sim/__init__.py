@@ -22,9 +22,27 @@ from repro.sim.timing import (
     HostTimings,
 )
 from repro.sim.trace import EventTrace, TraceEvent
+from repro.sim.sched import (
+    Delay,
+    Event,
+    EventScheduler,
+    Mailbox,
+    Process,
+    Receive,
+    ScheduledClock,
+    SchedulerError,
+)
 
 __all__ = [
     "VirtualClock",
+    "EventScheduler",
+    "Event",
+    "SchedulerError",
+    "ScheduledClock",
+    "Process",
+    "Mailbox",
+    "Delay",
+    "Receive",
     "DeterministicRNG",
     "TimingProfile",
     "TPMTimings",

@@ -1,0 +1,48 @@
+"""Discrete-event scheduling for multi-machine simulations.
+
+The original reproduction drove one :class:`~repro.sim.clock.VirtualClock`
+inline from every layer: a single serial timeline, which is exactly right
+for reproducing the paper's one-machine Figure 2 measurements but cannot
+express *many* machines making progress concurrently in virtual time.
+
+This package turns the time model into a deterministic discrete-event
+simulation, the way SystemC-TLM virtual prototypes schedule concurrent
+hardware/software activity:
+
+* :class:`~repro.sim.sched.events.EventScheduler` — the seeded event
+  queue.  Events fire in ``(time, seq)`` order: ties on virtual time are
+  broken by scheduling order, so a run is a pure function of its inputs.
+* :class:`~repro.sim.sched.clock.ScheduledClock` — a per-machine
+  :class:`~repro.sim.clock.VirtualClock` registered with the scheduler.
+  Machine-local work still advances the local clock synchronously (all
+  Figure 2 code paths are untouched, keeping single-machine timings
+  bit-identical); the scheduler fast-forwards idle machines to the global
+  time whenever they resume.
+* :class:`~repro.sim.sched.process.Process` — a cooperative task written
+  as a generator.  Between ``yield``\\ s a process runs ordinary
+  synchronous simulation code (e.g. a whole Flicker session); at a
+  ``yield`` it hands control back so other machines' earlier events run
+  first.
+* :class:`~repro.sim.sched.process.Mailbox` — deterministic FIFO
+  message delivery between processes (network arrivals land here).
+
+The legacy single-machine API is the degenerate case: a lone
+``VirtualClock`` *is* a one-machine schedule with no pending events, and
+``ScheduledClock`` subclasses it without overriding ``advance``, so the
+two produce identical timings for identical work.
+"""
+
+from repro.sim.sched.events import Event, EventScheduler, SchedulerError
+from repro.sim.sched.clock import ScheduledClock
+from repro.sim.sched.process import Delay, Mailbox, Process, Receive
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "SchedulerError",
+    "ScheduledClock",
+    "Delay",
+    "Mailbox",
+    "Process",
+    "Receive",
+]

@@ -1,0 +1,70 @@
+"""Per-machine clocks that live on a shared event schedule.
+
+A :class:`ScheduledClock` is a :class:`~repro.sim.clock.VirtualClock`
+bound to an :class:`~repro.sim.sched.events.EventScheduler`.  It does not
+override ``advance`` — machine-local work charges local time through the
+exact code path the single-machine simulation uses, which is what keeps
+legacy Figure 2 timings bit-identical — but it adds the two capabilities
+a fleet needs:
+
+* :meth:`sync_to` — fast-forward an idle machine to the global time when
+  one of its events fires.  The skipped interval is accounted as *idle*
+  (never attributed to open spans), so per-machine utilization is just
+  ``busy_ms / now()``.
+* registration — the scheduler keeps every machine clock in
+  ``scheduler.clocks`` for fleet-wide reporting.
+
+>>> from repro.sim.sched.events import EventScheduler
+>>> sched = EventScheduler()
+>>> clock = ScheduledClock(sched, machine_id="client-00")
+>>> clock.sync_to(25.0)
+>>> (clock.now(), clock.idle_ms, clock.busy_ms)
+(25.0, 25.0, 0.0)
+>>> _ = clock.advance(5.0)
+>>> (clock.now(), clock.idle_ms, clock.busy_ms)
+(30.0, 25.0, 5.0)
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import VirtualClock
+from repro.sim.sched.events import EventScheduler
+
+
+class ScheduledClock(VirtualClock):
+    """A machine-local virtual clock registered with an event scheduler."""
+
+    def __init__(self, scheduler: EventScheduler, machine_id: str = "machine-0",
+                 start_ms: float = 0.0) -> None:
+        super().__init__(start_ms)
+        self.scheduler = scheduler
+        self.machine_id = machine_id
+        #: Milliseconds this machine spent waiting for global time (blocked
+        #: on a message, or between scheduled activations).
+        self.idle_ms = 0.0
+        scheduler.register_clock(self)
+
+    @property
+    def busy_ms(self) -> float:
+        """Milliseconds of actual machine-local work (advances)."""
+        return self._now_ms - self.idle_ms
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of this machine's timeline spent doing work."""
+        return self.busy_ms / self._now_ms if self._now_ms else 0.0
+
+    def sync_to(self, time_ms: float) -> None:
+        """Jump forward to global time ``time_ms`` (no-op if not behind).
+
+        The jump is idle time: it is *not* scaled by skew and *not*
+        attributed to any open span, mirroring a machine sitting in the
+        OS idle loop until its next scheduled activation.
+        """
+        if time_ms > self._now_ms:
+            self.idle_ms += time_ms - self._now_ms
+            self._now_ms = time_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ScheduledClock({self.machine_id!r}, now={self._now_ms:.3f}ms, "
+                f"idle={self.idle_ms:.3f}ms)")

@@ -1,0 +1,160 @@
+"""Fleet throughput report: ``python -m repro.tools.fleet_report``.
+
+Runs the §6.2 distributed-factoring project concurrently on a
+:class:`~repro.core.fleet.FlickerFleet` and prints per-machine plus
+aggregate throughput — sessions per virtual second, utilization, and
+network traffic.  Deterministic: the same seed and fleet shape print the
+same bytes on every run and every machine.
+
+Options::
+
+    --machines N          client machines in the fleet (default 4)
+    --units-per-client N  work units dispatched to each client (default 2)
+    --slice-ms MS         Flicker session slice length (default 2000)
+    --range-per-unit N    divisors per work unit (default 400)
+    --seed N              fleet seed (default 2008)
+    --jitter-ms MS        seeded gaussian network jitter (default 0)
+    --json PATH           also write the full report dict as JSON
+    --chrome PATH         also write a per-machine-track Chrome trace
+                          (implies observability; load in Perfetto)
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Iterable, List, Optional, Sequence
+
+from repro.apps.distributed import FleetProject, FleetProjectReport
+from repro.core.fleet import FlickerFleet
+
+#: The demonstration composite: 3*5*7*11*13 times a prime.
+DEFAULT_N = 15015 * 1_000_003
+
+
+def _table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    rows = [tuple(str(c) for c in row) for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = [f"\n## {title}", sep]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def run_fleet(
+    machines: int = 4,
+    units_per_client: int = 2,
+    slice_ms: float = 2000.0,
+    range_per_unit: int = 400,
+    seed: int = 2008,
+    jitter_ms: float = 0.0,
+    observability: bool = False,
+    n: int = DEFAULT_N,
+):
+    """Build the fleet, run the project; returns ``(fleet, report)``."""
+    fleet = FlickerFleet(
+        num_machines=machines,
+        seed=seed,
+        jitter_ms=jitter_ms,
+        observability=observability,
+    )
+    project = FleetProject(
+        fleet, n=n, units_per_client=units_per_client,
+        slice_ms=slice_ms, range_per_unit=range_per_unit,
+    )
+    return fleet, project.run()
+
+
+def build_report(fleet: FlickerFleet, report: FleetProjectReport) -> str:
+    """The printable report for one finished fleet run."""
+    machine_rows = [
+        (
+            m.machine_id,
+            m.sessions,
+            f"{m.units_accepted}/{m.units_accepted + m.units_rejected}",
+            f"{m.busy_ms:.1f}",
+            f"{m.utilization:.4f}",
+            m.net_messages,
+            m.net_bytes,
+        )
+        for m in report.per_machine
+    ]
+    server = fleet.machine_reports()[-1]
+    machine_rows.append(
+        (server.machine_id, "-", "-", f"{server.busy_ms:.1f}",
+         f"{server.utilization:.4f}", server.net_messages, server.net_bytes)
+    )
+    aggregate_rows = [
+        ("client machines", report.fleet_size),
+        ("units accepted / issued",
+         f"{report.units_accepted} / {report.units_issued}"),
+        ("makespan (virtual ms)", f"{report.makespan_ms:.1f}"),
+        ("total sessions", report.total_sessions),
+        ("sessions / virtual second",
+         f"{report.sessions_per_virtual_second:.3f}"),
+        ("fleet efficiency (useful/busy)", f"{report.efficiency:.3f}"),
+        ("network messages", report.network_messages),
+        ("network bytes", report.network_bytes),
+    ]
+    return "\n".join([
+        "# Flicker fleet — distributed factoring (§6.2, concurrent)",
+        f"(seed {fleet.seed}; all times are deterministic virtual-time results)",
+        _table(
+            "Per-machine activity",
+            ["Machine", "Sessions", "Units ok", "Busy (ms)",
+             "Utilization", "Msgs", "Bytes"],
+            machine_rows,
+        ),
+        _table("Aggregate throughput", ["Quantity", "Value"], aggregate_rows),
+    ])
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.fleet_report",
+        description="Concurrent multi-machine Flicker fleet throughput report.",
+    )
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--units-per-client", type=int, default=2)
+    parser.add_argument("--slice-ms", type=float, default=2000.0)
+    parser.add_argument("--range-per-unit", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--jitter-ms", type=float, default=0.0)
+    parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument("--chrome", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    fleet, report = run_fleet(
+        machines=args.machines,
+        units_per_client=args.units_per_client,
+        slice_ms=args.slice_ms,
+        range_per_unit=args.range_per_unit,
+        seed=args.seed,
+        jitter_ms=args.jitter_ms,
+        observability=args.chrome is not None,
+    )
+    print(build_report(fleet, report))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            fh.write(json.dumps(report.to_dict(), sort_keys=True,
+                                separators=(", ", ": ")) + "\n")
+        print(f"\nwrote JSON report to {args.json}")
+    if args.chrome:
+        from repro.obs import export_fleet_chrome_trace
+
+        with open(args.chrome, "w") as fh:
+            fh.write(export_fleet_chrome_trace(fleet.hubs(), fleet.traces()))
+        print(f"wrote Chrome trace to {args.chrome} (load in Perfetto)")
+
+
+if __name__ == "__main__":
+    main()

@@ -79,6 +79,7 @@ class AuthSession:
         self.nonce_even = hmac_sha1(self.nonce_even, nonce_odd)
 
     @staticmethod
-    def osap_shared_secret(entity_auth: bytes, nonce_even_osap: bytes, nonce_odd_osap: bytes) -> bytes:
+    def osap_shared_secret(entity_auth: bytes, nonce_even_osap: bytes,
+                           nonce_odd_osap: bytes) -> bytes:
         """Derive the OSAP shared secret for an entity."""
         return hmac_sha1(entity_auth, nonce_even_osap + nonce_odd_osap)

@@ -184,7 +184,8 @@ class TPM:
         """Whether TakeOwnership has run."""
         return self._owner_auth is not None
 
-    def _require_owner_auth(self, session: AuthSession, digest: bytes, nonce_odd: bytes, proof: bytes) -> None:
+    def _require_owner_auth(self, session: AuthSession, digest: bytes,
+                            nonce_odd: bytes, proof: bytes) -> None:
         if self._owner_auth is None:
             raise TPMAuthError("no owner installed")
         session.verify_proof(self._owner_auth, digest, nonce_odd, proof)

@@ -113,7 +113,9 @@ class TestDetectorPAL:
         from repro.errors import PALRuntimeError
 
         with pytest.raises(PALRuntimeError):
-            platform.execute_pal(RootkitDetectorPAL(), inputs=(0).to_bytes(2, "big") + (0).to_bytes(8, "big"))
+            platform.execute_pal(
+                RootkitDetectorPAL(),
+                inputs=(0).to_bytes(2, "big") + (0).to_bytes(8, "big"))
 
     def test_region_descriptor_roundtrip(self, kernel):
         from repro.apps.rootkit_detector import _parse_regions

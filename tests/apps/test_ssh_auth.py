@@ -50,7 +50,7 @@ class TestSecrecy:
     def test_cleartext_password_never_crosses_network(self, deployment):
         platform, server, client = deployment
         client.connect_and_login(server, "alice", PASSWORD)
-        for _, _, payload in platform.network.message_log():
+        for _, _, payload in platform.network.messages():
             if isinstance(payload, bytes):
                 assert PASSWORD not in payload
 

@@ -1,0 +1,168 @@
+"""The multi-machine fleet: construction, concurrent project runs,
+per-machine fault addressing, and byte-level determinism."""
+
+import json
+
+import pytest
+
+from repro.apps.distributed import FleetProject
+from repro.core import FlickerFleet
+from repro.core.fleet import SERVER_ID, derive_machine_seed
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.obs import export_fleet_chrome_trace
+
+
+def small_project(fleet, units_per_client=1):
+    return FleetProject(
+        fleet, n=15015 * 1_000_003,
+        units_per_client=units_per_client,
+        slice_ms=2000.0, range_per_unit=400,
+    )
+
+
+class TestFleetConstruction:
+    def test_machines_have_distinct_identities(self):
+        fleet = FlickerFleet(num_machines=3, seed=2008)
+        ids = [h.machine_id for h in fleet.hosts]
+        assert ids == ["client-00", "client-01", "client-02"]
+        aiks = {h.platform.tqd.aik_certificate.aik_public.n for h in fleet.hosts}
+        assert len(aiks) == 3  # per-machine TPM identities, not clones
+
+    def test_machine_seeds_are_stable_in_index(self):
+        """Growing the fleet never reseeds existing machines."""
+        assert [derive_machine_seed(2008, i) for i in range(2)] == [
+            derive_machine_seed(2008, i) for i in range(2)
+        ]
+        small = FlickerFleet(num_machines=2, seed=2008)
+        large = FlickerFleet(num_machines=4, seed=2008)
+        for a, b in zip(small.hosts, large.hosts):
+            assert (a.platform.tqd.aik_certificate.aik_public.n
+                    == b.platform.tqd.aik_certificate.aik_public.n)
+
+    def test_host_lookup(self):
+        fleet = FlickerFleet(num_machines=2, seed=2008)
+        assert fleet.host("client-01") is fleet.hosts[1]
+        with pytest.raises(KeyError):
+            fleet.host("client-99")
+
+    def test_verifier_for_is_cached_per_machine(self):
+        fleet = FlickerFleet(num_machines=2, seed=2008)
+        v = fleet.verifier_for("client-00")
+        assert fleet.verifier_for("client-00") is v
+        assert fleet.verifier_for("client-01") is not v
+
+
+class TestFleetProject:
+    @pytest.fixture(scope="class")
+    def run(self):
+        fleet = FlickerFleet(num_machines=2, seed=2008)
+        report = small_project(fleet, units_per_client=1).run()
+        return fleet, report
+
+    def test_every_unit_verifies(self, run):
+        _, report = run
+        assert report.units_issued == 2
+        assert report.units_accepted == 2
+        assert report.units_rejected == 0
+
+    def test_machines_run_concurrently(self, run):
+        """The fleet makespan is that of ONE client's workload (plus
+        network + verification), not the serial sum."""
+        fleet, report = run
+        slowest = max(m.busy_ms for m in report.per_machine)
+        assert report.makespan_ms < 1.1 * slowest
+        assert report.total_busy_ms > 1.9 * slowest  # both actually worked
+
+    def test_sessions_counted_per_machine(self, run):
+        _, report = run
+        for m in report.per_machine:
+            assert m.sessions == 2  # init session + one work slice
+        assert report.total_sessions == 4
+
+    def test_clients_stay_busy(self, run):
+        _, report = run
+        for m in report.per_machine:
+            assert m.utilization > 0.95
+
+    def test_server_report_aggregates_links(self, run):
+        fleet, report = run
+        server = fleet.machine_reports()[-1]
+        assert server.machine_id == SERVER_ID
+        assert server.sessions == 0
+        assert server.net_messages == report.network_messages
+        assert server.net_bytes == report.network_bytes
+        # Verification work was charged to the server host's clock.
+        assert server.busy_ms > 0.0
+
+    def test_network_carried_all_protocol_messages(self, run):
+        _, report = run
+        # Per client: assignment in, result out, stop in.
+        assert report.network_messages == 3 * report.fleet_size
+
+
+class TestFleetDeterminism:
+    def test_same_seed_reports_byte_identical(self):
+        def one_run():
+            fleet = FlickerFleet(num_machines=2, seed=424242)
+            report = small_project(fleet).run()
+            return json.dumps(report.to_dict(), sort_keys=True)
+
+        assert one_run() == one_run()
+
+    def test_same_seed_traces_byte_identical(self):
+        def one_trace():
+            fleet = FlickerFleet(num_machines=2, seed=77, observability=True)
+            small_project(fleet).run()
+            return export_fleet_chrome_trace(fleet.hubs(), fleet.traces())
+
+        first = one_trace()
+        assert first == one_trace()
+        doc = json.loads(first)
+        # One pid per machine (plus the legacy default track's metadata).
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert len(pids) == 4  # default, client-00, client-01, server
+
+    def test_jitter_changes_timings_but_stays_deterministic(self):
+        def one_run(jitter):
+            fleet = FlickerFleet(num_machines=2, seed=9, jitter_ms=jitter)
+            return small_project(fleet).run().to_dict()
+
+        assert one_run(2.0) == one_run(2.0)
+        assert one_run(2.0)["makespan_ms"] != one_run(0.0)["makespan_ms"]
+
+
+class TestPerMachineFaults:
+    def test_fault_addressed_to_one_machine_fires_only_there(self):
+        fleet = FlickerFleet(num_machines=2, seed=2008)
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(kind="tpm-transient", op="quote", machine="client-01"),
+        ))
+        injectors = {
+            host.machine_id: FaultInjector(
+                plan.for_machine(host.machine_id)
+            ).install(host.platform)
+            for host in fleet.hosts
+        }
+        report = small_project(fleet).run()
+        # The transient quote fault is retried and absorbed; work completes.
+        assert report.units_accepted == 2
+        assert [f["kind"] for f in injectors["client-01"].fired] == ["tpm-transient"]
+        assert injectors["client-00"].fired == []
+
+    def test_for_machine_keeps_broadcast_specs(self):
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(kind="tpm-transient", op="seal"),          # any machine
+            FaultSpec(kind="clock-skew", magnitude=150, machine="client-07"),
+        ))
+        sub = plan.for_machine("client-00")
+        assert [s.kind for s in sub.specs] == ["tpm-transient"]
+        sub7 = plan.for_machine("client-07")
+        assert [s.kind for s in sub7.specs] == ["tpm-transient", "clock-skew"]
+
+    def test_machine_field_round_trips_through_dict(self):
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec(kind="pal-exception", machine="client-03"),
+        ))
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        assert rebuilt.specs[0].machine == "client-03"

@@ -1,26 +1,35 @@
 """The documentation is executable.
 
 Every ``>>>`` example in ``docs/*.md`` and in the ``repro.obs`` /
-``repro.sim.trace`` docstrings runs here, so the docs cannot drift from
-the code.  Equivalent to::
+``repro.sim.trace`` / ``repro.sim.sched`` docstrings runs here, so the
+docs cannot drift from the code.  Equivalent to::
 
     pytest --doctest-glob='*.md' docs/
-    pytest --doctest-modules src/repro/obs src/repro/sim/trace.py
+    pytest --doctest-modules src/repro/obs src/repro/sim/trace.py \
+        src/repro/sim/sched/
+
+The demo scripts under ``examples/`` registered in ``EXECUTED_EXAMPLES``
+run end-to-end as well (they assert their own claims inline).
 """
 
 import doctest
 import pathlib
+import runpy
 
 import pytest
 
 import repro.obs.export
 import repro.obs.metrics
 import repro.obs.spans
+import repro.sim.sched.clock
+import repro.sim.sched.events
+import repro.sim.sched.process
 import repro.sim.trace
 
 pytestmark = pytest.mark.obs
 
-DOCS_DIR = pathlib.Path(__file__).resolve().parents[2] / "docs"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
 
 OPTIONFLAGS = doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
 
@@ -29,7 +38,13 @@ DOCTESTED_MODULES = [
     repro.obs.spans,
     repro.obs.export,
     repro.sim.trace,
+    repro.sim.sched.events,
+    repro.sim.sched.clock,
+    repro.sim.sched.process,
 ]
+
+#: Examples cheap enough to execute on every test run.
+EXECUTED_EXAMPLES = ["fleet_distributed.py"]
 
 DOC_PAGES = sorted(DOCS_DIR.glob("*.md"))
 
@@ -54,6 +69,14 @@ def test_markdown_examples_execute(page):
         str(page), module_relative=False, optionflags=OPTIONFLAGS,
         verbose=False)
     assert results.failed == 0
+
+
+@pytest.mark.parametrize("script", EXECUTED_EXAMPLES)
+def test_examples_execute(script, capsys):
+    """Registered demo scripts run to completion (their inline asserts
+    are the claims the script text makes to the reader)."""
+    runpy.run_path(str(REPO_ROOT / "examples" / script), run_name="__main__")
+    assert capsys.readouterr().out  # the demo actually narrated something
 
 
 def test_architecture_and_observability_have_examples():

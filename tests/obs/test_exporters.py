@@ -121,3 +121,53 @@ class TestEventTraceBridge:
         last_extend = max(i for i, n in enumerate(names) if n == "tpm/pcr_extend")
         last_resume = max(i for i, n in enumerate(names) if n == "flicker/os-resumed")
         assert last_extend < last_resume
+
+
+class TestMachineTracks:
+    """Spans/events carrying a ``machine`` attribute render on their own
+    Chrome track (pid); without machine labels the legacy single-track
+    bytes are unchanged."""
+
+    def test_default_output_has_single_track(self):
+        doc = json.loads(export_chrome_trace(instrumented_ca().obs))
+        assert {e["pid"] for e in doc["traceEvents"]} == {1}
+
+    def test_machine_attribute_maps_to_distinct_pid(self):
+        from repro.obs.spans import ObservabilityHub
+        from repro.sim.clock import VirtualClock
+
+        clock = VirtualClock()
+        hub = ObservabilityHub(clock, machine="client-03")
+        with hub.span("session", category="session"):
+            clock.advance(1.0)
+        doc = json.loads(export_chrome_trace(hub))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["args"]["machine"] == "client-03"
+        assert spans[0]["pid"] != 1
+        names = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert "flicker-virtual-platform/client-03" in names
+
+    def test_fleet_export_gives_one_track_per_machine(self):
+        from repro.obs import export_fleet_chrome_trace
+        from repro.obs.spans import ObservabilityHub
+        from repro.sim.clock import VirtualClock
+
+        hubs = {}
+        for machine in ("client-00", "client-01", "server"):
+            clock = VirtualClock()
+            hub = ObservabilityHub(clock, machine=machine)
+            with hub.span("work", category="session"):
+                clock.advance(2.0)
+            hubs[machine] = hub
+        doc = json.loads(export_fleet_chrome_trace(hubs))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len({e["pid"] for e in spans}) == 3
+        # pid assignment is sorted-label order: stable across runs.
+        by_machine = {e["args"]["machine"]: e["pid"] for e in spans}
+        assert by_machine["client-00"] < by_machine["client-01"] < by_machine["server"]
+
+    def test_pid_mapping_ignores_event_order(self):
+        from repro.obs.export import _machine_pids
+
+        assert _machine_pids({"b", "a", None}) == _machine_pids({None, "a", "b"})
+        assert _machine_pids({"a", "b"}) == {None: 1, "a": 2, "b": 3}

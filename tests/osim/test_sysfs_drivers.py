@@ -92,12 +92,20 @@ class TestNetwork:
         assert response == b"ping-pong"
         assert machine.clock.now() - before == pytest.approx(10.0)
 
-    def test_message_log_enables_eavesdropping_tests(self):
+    def test_messages_enables_eavesdropping_tests(self):
         machine = Machine(seed=3)
         link = NetworkLink(machine.clock, machine.trace, one_way_ms=1.0)
         link.send("a", "b", b"observable")
-        log = link.message_log()
-        assert log == [("a", "b", b"observable")]
+        assert link.messages() == [("a", "b", b"observable")]
+
+    def test_message_log_is_bounded(self):
+        machine = Machine(seed=5)
+        link = NetworkLink(machine.clock, machine.trace, one_way_ms=0.1, max_log=4)
+        for i in range(10):
+            link.send("a", "b", bytes([i]))
+        assert link.messages() == [("a", "b", bytes([i])) for i in range(6, 10)]
+        assert link.messages_dropped == 6
+        assert link.messages_carried == 10
 
 
 class TestStorage:

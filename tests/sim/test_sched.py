@@ -1,0 +1,237 @@
+"""The discrete-event core: scheduler ordering, per-machine clocks,
+cooperative processes, and mailboxes."""
+
+import pytest
+
+from repro.sim.sched import (
+    Delay,
+    EventScheduler,
+    Mailbox,
+    Process,
+    ScheduledClock,
+    SchedulerError,
+)
+
+
+class TestEventScheduler:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.at(5.0, lambda: order.append("late"))
+        sched.at(1.0, lambda: order.append("early"))
+        sched.at(3.0, lambda: order.append("mid"))
+        assert sched.run() == 5.0
+        assert order == ["early", "mid", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sched = EventScheduler()
+        order = []
+        for name in ("a", "b", "c", "d"):
+            sched.at(2.0, lambda n=name: order.append(n))
+        sched.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_scheduling_in_the_past_is_an_error(self):
+        sched = EventScheduler()
+        sched.at(10.0, lambda: sched.at(3.0, lambda: None))
+        with pytest.raises(SchedulerError):
+            sched.run()
+
+    def test_events_may_schedule_more_events(self):
+        sched = EventScheduler()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sched.after(1.0, lambda: chain(n + 1))
+
+        sched.at(0.0, lambda: chain(0))
+        assert sched.run() == 3.0
+        assert seen == [0, 1, 2, 3]
+
+    def test_cancelled_events_never_fire(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.at(1.0, lambda: fired.append("cancelled"))
+        sched.at(2.0, lambda: fired.append("kept"))
+        sched.cancel(event)
+        sched.run()
+        assert fired == ["kept"]
+
+    def test_run_until_stops_on_time(self):
+        sched = EventScheduler()
+        fired = []
+        sched.at(1.0, lambda: fired.append(1))
+        sched.at(10.0, lambda: fired.append(10))
+        sched.run(until_ms=5.0)
+        assert fired == [1]
+        assert not sched.idle
+        sched.run()
+        assert fired == [1, 10]
+        assert sched.idle
+
+    def test_rng_streams_are_seeded_and_labelled(self):
+        a = EventScheduler(seed=7).rng("net").randbits(32)
+        b = EventScheduler(seed=7).rng("net").randbits(32)
+        c = EventScheduler(seed=7).rng("other").randbits(32)
+        assert a == b
+        assert a != c
+
+
+class TestScheduledClock:
+    def test_sync_to_accounts_idle_time(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+        clock.sync_to(10.0)
+        clock.advance(5.0)
+        assert clock.now() == 15.0
+        assert clock.idle_ms == 10.0
+        assert clock.busy_ms == 5.0
+        assert clock.utilization == pytest.approx(5.0 / 15.0)
+
+    def test_sync_to_never_rewinds(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+        clock.advance(8.0)
+        clock.sync_to(3.0)
+        assert clock.now() == 8.0
+        assert clock.idle_ms == 0.0
+
+    def test_clocks_register_with_scheduler(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+        assert clock in sched.clocks
+
+
+class TestProcess:
+    def test_generator_delays_advance_local_clock(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+        trail = []
+
+        def proc():
+            yield 5.0
+            trail.append(clock.now())
+            yield Delay(2.5)
+            trail.append(clock.now())
+
+        p = Process(sched, clock, proc(), name="p")
+        sched.run()
+        assert p.done
+        assert trail == [5.0, 7.5]
+
+    def test_local_work_is_atomic_between_yields(self):
+        """Synchronous clock.advance between yields never interleaves:
+        the other machine only runs at scheduling points."""
+        sched = EventScheduler()
+        a_clock = ScheduledClock(sched, machine_id="a")
+        b_clock = ScheduledClock(sched, machine_id="b")
+        order = []
+
+        def a():
+            a_clock.advance(100.0)  # atomic local burst
+            order.append(("a", sched.now()))
+            yield 0
+
+        def b():
+            order.append(("b", sched.now()))
+            yield 0
+
+        Process(sched, a_clock, a(), name="a")
+        Process(sched, b_clock, b(), name="b")
+        sched.run()
+        # Both first steps fire at global time 0 in spawn order; a's
+        # 100 ms of local work does not delay b's start.
+        assert order == [("a", 0.0), ("b", 0.0)]
+        assert a_clock.now() == 100.0
+        assert b_clock.now() == 0.0
+
+    def test_process_result_is_generator_return_value(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+
+        def proc():
+            yield 1.0
+            return "finished"
+
+        p = Process(sched, clock, proc(), name="p")
+        sched.run()
+        assert p.done and p.result == "finished"
+
+
+class TestMailbox:
+    def test_receive_blocks_until_put(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+        box = Mailbox(sched, name="box")
+        got = []
+
+        def consumer():
+            item = yield box.receive()
+            got.append((item, clock.now()))
+
+        Process(sched, clock, consumer(), name="consumer")
+        sched.at(7.0, lambda: box.put("hello"))
+        sched.run()
+        assert got == [("hello", 7.0)]
+
+    def test_put_before_receive_is_queued(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+        box = Mailbox(sched, name="box")
+        box.put("queued")
+        got = []
+
+        def consumer():
+            item = yield box.receive()
+            got.append(item)
+
+        Process(sched, clock, consumer(), name="consumer")
+        sched.run()
+        assert got == ["queued"]
+        assert box.delivered == 1
+
+    def test_items_deliver_in_fifo_order(self):
+        sched = EventScheduler()
+        clock = ScheduledClock(sched, machine_id="m0")
+        box = Mailbox(sched, name="box")
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield box.receive()))
+
+        Process(sched, clock, consumer(), name="consumer")
+        for i, t in enumerate((2.0, 4.0, 6.0)):
+            sched.at(t, lambda i=i: box.put(i))
+        sched.run()
+        assert got == [0, 1, 2]
+
+
+class TestDeterminism:
+    def test_identical_runs_replay_identically(self):
+        def build_and_run():
+            sched = EventScheduler(seed=99)
+            clocks = [ScheduledClock(sched, machine_id=f"m{i}") for i in range(3)]
+            box = Mailbox(sched, name="box")
+            log = []
+
+            def producer(i, clock):
+                yield float(i)
+                box.put(i)
+                log.append(("sent", i, sched.now()))
+
+            def consumer():
+                for _ in range(3):
+                    item = yield box.receive()
+                    log.append(("got", item, sched.now()))
+
+            Process(sched, clocks[0], producer(0, clocks[0]), name="p0")
+            Process(sched, clocks[1], producer(1, clocks[1]), name="p1")
+            Process(sched, clocks[2], producer(2, clocks[2]), name="p2")
+            Process(sched, clocks[0], consumer(), name="c")
+            sched.run()
+            return log, sched.events_executed
+
+        assert build_and_run() == build_and_run()
