@@ -7,9 +7,9 @@ and the paper-level invariant (zero ``secret-leaked`` outcomes) is
 asserted on every execution.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table, record
+from repro.bench import register
+from repro.crypto.sha1 import sha1
 from repro.faults import FaultCampaign
 from repro.faults.campaign import APPS, OUTCOMES, report_json
 
@@ -18,6 +18,32 @@ SEEDS = range(50)
 
 def run_campaign():
     return FaultCampaign(seeds=SEEDS, apps=APPS).run()
+
+
+def run_bench(seeds=50, workers=1):
+    """Registered entry point: outcome distribution plus a digest of the
+    full canonical report — one drifted byte anywhere in the campaign
+    flips ``report_sha1``, making this a whole-subsystem regression gate."""
+    report = FaultCampaign(seeds=range(seeds), apps=APPS,
+                           workers=workers).run()
+    summary = report["summary"]
+    return {
+        "virtual": {
+            "runs": summary["runs"],
+            "outcomes": summary["outcomes"],
+            "secret_leaked": summary["secret_leaked"],
+            "report_sha1": sha1(report_json(report).encode("ascii")).hex(),
+        },
+    }
+
+
+register(
+    "fault_campaign", run_bench,
+    params={"seeds": 50, "workers": 1},
+    quick_params={"seeds": 12, "workers": 1},
+    description="Fault campaign: outcome distribution + canonical-report "
+                "digest over seeded adversarial sweeps",
+)
 
 
 def test_fault_campaign_smoke(benchmark):

@@ -7,56 +7,69 @@ machine's TPM-dominated session cost is paid in parallel while the
 server's per-result verification (three RSA public ops, well under a
 millisecond) stays negligible.
 
-Writes the deterministic sweep results to ``BENCH_fleet.json`` at the
-repository root as the baseline the next change is compared against.
+Registered with the unified runner as ``fleet``; the committed
+``BENCH_fleet.json`` baseline is produced by
+``python -m repro.tools.bench --quick`` (see docs/BENCHMARKS.md for the
+refresh procedure).  The sweep itself runs through
+:func:`repro.tools.fleet_report.run_fleet_sweep`, so ``workers > 1``
+shards the fleet sizes across processes with byte-identical results.
 """
 
-import json
-import time
-from pathlib import Path
-
 from benchmarks.conftest import print_table, record
-from repro.tools.fleet_report import run_fleet
+from repro.bench import register
+from repro.tools.fleet_report import run_fleet_sweep
 
 FLEET_SIZES = (1, 4, 16, 64)
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+QUICK_SIZES = (1, 4, 16)
 
 
-def sweep():
-    results = {}
-    for size in FLEET_SIZES:
-        started = time.perf_counter()
-        _, report = run_fleet(
-            machines=size, units_per_client=1, slice_ms=2000.0,
-            range_per_unit=400, seed=2008,
-        )
-        wall_s = time.perf_counter() - started
-        results[size] = report.to_dict()
-        # Simulator performance (machine-dependent, unlike everything
-        # else in the dict): how fast the host churns through sessions.
-        results[size]["wall_seconds"] = round(wall_s, 3)
-        results[size]["sessions_per_wall_second"] = round(
-            report.total_sessions / wall_s, 3)
-    return results
+def run_bench(sizes=FLEET_SIZES, seed=2008, units_per_client=1,
+              slice_ms=2000.0, range_per_unit=400, workers=1):
+    """Registered entry point: the deterministic scaling sweep."""
+    configs = [
+        dict(machines=size, units_per_client=units_per_client,
+             slice_ms=slice_ms, range_per_unit=range_per_unit, seed=seed)
+        for size in sizes
+    ]
+    reports = run_fleet_sweep(configs, workers=workers)
+    return {
+        "virtual": {
+            "sweep": {str(size): report
+                      for size, report in zip(sizes, reports)},
+        },
+    }
+
+
+register(
+    "fleet", run_bench,
+    params={"sizes": FLEET_SIZES, "seed": 2008, "units_per_client": 1,
+            "slice_ms": 2000.0, "range_per_unit": 400, "workers": 1},
+    quick_params={"sizes": QUICK_SIZES, "seed": 2008, "units_per_client": 1,
+                  "slice_ms": 2000.0, "range_per_unit": 400, "workers": 1},
+    description="Fleet scaling: sessions/virtual-second vs fleet size "
+                "(distributed factoring, §6.2)",
+)
 
 
 def test_fleet_scaling(benchmark):
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        run_bench, kwargs={"sizes": FLEET_SIZES}, rounds=1, iterations=1,
+    )["virtual"]["sweep"]
     throughput = {
-        size: results[size]["sessions_per_virtual_second"] for size in FLEET_SIZES
+        size: results[str(size)]["sessions_per_virtual_second"]
+        for size in FLEET_SIZES
     }
     print_table(
         "Fleet scaling: distributed factoring, 1 unit per client",
         ["Machines", "Sessions", "Makespan (ms)", "Sessions/vsec",
-         "Speedup", "Sessions/wsec", "Net bytes"],
+         "Speedup", "Net bytes"],
         [
             (size,
-             results[size]["total_sessions"],
-             f"{results[size]['makespan_ms']:.1f}",
+             results[str(size)]["total_sessions"],
+             f"{results[str(size)]['makespan_ms']:.1f}",
              f"{throughput[size]:.3f}",
              f"{throughput[size] / throughput[1]:.1f}x",
-             f"{results[size]['sessions_per_wall_second']:.1f}",
-             results[size]["network_bytes"])
+             results[str(size)]["network_bytes"])
             for size in FLEET_SIZES
         ],
     )
@@ -64,17 +77,10 @@ def test_fleet_scaling(benchmark):
 
     # Every unit on every fleet size verifies.
     for size in FLEET_SIZES:
-        assert results[size]["units_accepted"] == size
-        assert results[size]["units_rejected"] == 0
+        assert results[str(size)]["units_accepted"] == size
+        assert results[str(size)]["units_rejected"] == 0
     # The scaling claim: 16 machines deliver >= 10x the aggregate virtual
     # throughput of one machine (near-linear; the gap is network latency
     # plus the server's serialized verification work).
     assert throughput[16] >= 10.0 * throughput[1]
     assert throughput[64] > throughput[16]
-
-    BASELINE_PATH.write_text(json.dumps(
-        {"workload": "distributed-factoring", "seed": 2008,
-         "units_per_client": 1, "slice_ms": 2000.0,
-         "sweep": {str(size): results[size] for size in FLEET_SIZES}},
-        sort_keys=True, separators=(", ", ": "),
-    ) + "\n")

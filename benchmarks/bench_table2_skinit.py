@@ -9,6 +9,7 @@ Paper values (AMD test machine)::
 import pytest
 
 from benchmarks.conftest import print_table, record
+from repro.bench import register
 from repro.hw.machine import Machine
 from repro.hw.skinit import SLB_REGION_SIZE
 
@@ -35,6 +36,23 @@ def measure_skinit_ms(size_kb: int) -> float:
     before = machine.clock.now()
     machine.skinit(0, 0x100000)
     return machine.clock.now() - before
+
+
+def run_bench(sizes_kb=(0, 4, 16, 32, 64)):
+    """Registered entry point: SKINIT virtual latency per SLB size."""
+    return {
+        "virtual": {
+            "paper_ms": {str(kb): PAPER_POINTS[kb] for kb in PAPER_POINTS},
+            "measured_ms": {str(kb): round(measure_skinit_ms(kb), 6)
+                            for kb in sizes_kb},
+        },
+    }
+
+
+register(
+    "table2_skinit", run_bench, params={"sizes_kb": (0, 4, 16, 32, 64)},
+    description="Table 2: SKINIT latency vs SLB size",
+)
 
 
 def test_table2_skinit_vs_slb_size(benchmark):

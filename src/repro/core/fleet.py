@@ -96,7 +96,14 @@ class MachineReport:
 
 
 class FlickerFleet:
-    """N Flicker client machines plus one verifier/server host."""
+    """N Flicker client machines plus one verifier/server host.
+
+    One fleet run is a single discrete-event schedule and therefore runs
+    on one core; *sweeps* over fleet shapes or seeds shard across worker
+    processes via :func:`repro.tools.fleet_report.run_fleet_sweep` (built
+    on :func:`repro.sim.parallel.map_seeded`), with merged reports
+    byte-identical to a serial sweep.
+    """
 
     def __init__(
         self,

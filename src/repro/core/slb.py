@@ -58,7 +58,18 @@ def _bootstrap_stub() -> bytes:
 
 @dataclass(frozen=True)
 class SLBImage:
-    """A built, measurable SLB image."""
+    """A built, measurable SLB image.
+
+    Measurement digests are memoized per instance: the image bytes of a
+    frozen :class:`SLBImage` never change, so ``skinit_measurement``,
+    ``region_measurement``, and ``pcr17_launch_value`` are computed once
+    and cached (every SKINIT of the same image re-reads them on the
+    session hot path).  The underlying :func:`sha1_cached` additionally
+    memoizes by content hash across *instances*, so rebuilding an
+    identical image costs no re-hash either — while any differing byte
+    necessarily produces a fresh digest (the invalidation tests pin
+    this).
+    """
 
     pal: PAL
     linked_modules: Tuple[str, ...]
@@ -69,17 +80,28 @@ class SLBImage:
     #: Whether the hash-then-extend stub is in use.
     optimized: bool
 
+    def _memo(self, key: str, compute):
+        cached = self.__dict__.get(key)
+        if cached is None:
+            cached = compute()
+            # Direct __dict__ write: the dataclass is frozen, but the memo
+            # is derived state, invisible to __eq__/__repr__.
+            object.__setattr__(self, key, cached)
+        return cached
+
     @property
     def skinit_measurement(self) -> bytes:
         """SHA-1 of the SKINIT-measured prefix — what hardware extends
         into PCR 17."""
-        return sha1(self.image[: self.measured_length])
+        return self._memo(
+            "_skinit_measurement",
+            lambda: sha1(self.image[: self.measured_length]))
 
     @property
     def region_measurement(self) -> bytes:
         """SHA-1 of the full 64-KB region — what the optimization stub
         extends (only meaningful when ``optimized``)."""
-        return sha1(self.image)
+        return self._memo("_region_measurement", lambda: sha1(self.image))
 
     def launch_measurements(self) -> List[Tuple[str, bytes]]:
         """The (label, digest) extends that reach PCR 17 by the time the
@@ -93,10 +115,12 @@ class SLBImage:
     def pcr17_launch_value(self) -> bytes:
         """PCR 17 at the moment the PAL gains control: the value Seal
         policies bind to (§4.3.1's V = H(0…0 ‖ H(P)))."""
-        return simulate_extend_chain(
-            PCR_DYNAMIC_RESET_VALUE,
-            [digest for _, digest in self.launch_measurements()],
-        )
+        return self._memo(
+            "_pcr17_launch_value",
+            lambda: simulate_extend_chain(
+                PCR_DYNAMIC_RESET_VALUE,
+                [digest for _, digest in self.launch_measurements()],
+            ))
 
     @property
     def code_size(self) -> int:
@@ -164,3 +188,15 @@ def expected_pcr17_after_launch(image: SLBImage) -> bytes:
     """Alias for :attr:`SLBImage.pcr17_launch_value` with a paper-facing
     name; used when sealing data for a future PAL (§4.3.1)."""
     return image.pcr17_launch_value
+
+
+def measurement_cache_info():
+    """Hit/miss statistics of the cross-instance measurement-hash memo
+    (the content-keyed SHA-1 cache backing every SLB digest)."""
+    return sha1.cache_info()
+
+
+def clear_measurement_cache() -> None:
+    """Drop the content-keyed measurement memo (tests use this to start
+    from a cold cache; correctness never depends on it)."""
+    sha1.cache_clear()

@@ -184,22 +184,33 @@ def run_scenario(app: str, plan: FaultPlan, capture_trace: bool = False,
             for e in trace.events(source="fault")
         ]
     if registry is not None:
-        registry.counter(
-            "campaign_outcomes_total", "Campaign cells per outcome class"
-        ).inc(app=app, outcome=outcome)
-        for fired in injector.fired:
-            registry.counter(
-                "campaign_faults_fired_total", "Injected faults that fired"
-            ).inc(kind=fired["kind"])
-        if record["probes_blocked"]:
-            registry.counter(
-                "campaign_probes_blocked_total", "Hardware probes the DEV/CPU blocked"
-            ).inc(record["probes_blocked"], app=app)
-        if retries:
-            registry.counter(
-                "campaign_retries_total", "Retries absorbed across the campaign"
-            ).inc(retries, app=app)
+        fold_record_into_registry(record, registry)
     return record
+
+
+def fold_record_into_registry(record: Dict, registry) -> None:
+    """Fold one scenario record into campaign counters.
+
+    A pure function of the record, so folding can happen in the worker
+    that ran the cell *or* after the fact in the parent process — the
+    parallel executor relies on this to rebuild the exact registry a
+    serial run would have produced.
+    """
+    registry.counter(
+        "campaign_outcomes_total", "Campaign cells per outcome class"
+    ).inc(app=record["app"], outcome=record["outcome"])
+    for fired in record["faults_fired"]:
+        registry.counter(
+            "campaign_faults_fired_total", "Injected faults that fired"
+        ).inc(kind=fired["kind"])
+    if record["probes_blocked"]:
+        registry.counter(
+            "campaign_probes_blocked_total", "Hardware probes the DEV/CPU blocked"
+        ).inc(record["probes_blocked"], app=record["app"])
+    if record["retries"]:
+        registry.counter(
+            "campaign_retries_total", "Retries absorbed across the campaign"
+        ).inc(record["retries"], app=record["app"])
 
 
 def replay(seed: int, app: str, max_faults: int = 3,
@@ -217,8 +228,26 @@ def replay(seed: int, app: str, max_faults: int = 3,
 # -- the campaign ------------------------------------------------------------
 
 
+def _run_cell(cell) -> Dict:
+    """One (seed, app) campaign cell — module-level so worker processes
+    can unpickle it; regenerates the plan from the seed (plans are pure
+    functions of their seed, so shipping the seed ships the plan)."""
+    seed, app, max_faults, max_sessions = cell
+    plan = FaultPlan.generate(seed, max_faults=max_faults,
+                              max_sessions=max_sessions)
+    return run_scenario(app, plan)
+
+
 class FaultCampaign:
-    """Sweep seeded fault plans across the application scenarios."""
+    """Sweep seeded fault plans across the application scenarios.
+
+    ``workers`` opts into the multiprocessing executor: the seeded cells
+    are sharded across that many worker processes (``0``/``None`` means
+    one per CPU) and merged back in sweep order, so the report — and the
+    metrics registry rebuilt from it — is **byte-identical** to a serial
+    run.  Each cell is an independent seeded simulation; there is no
+    cross-cell state to lose by sharding.
+    """
 
     def __init__(
         self,
@@ -226,11 +255,13 @@ class FaultCampaign:
         apps: Sequence[str] = APPS,
         max_faults: int = 3,
         max_sessions: int = 3,
+        workers: int = 1,
     ) -> None:
         self.seeds = list(seeds)
         self.apps = list(apps)
         self.max_faults = max_faults
         self.max_sessions = max_sessions
+        self.workers = workers
         # Campaign-level outcome/fault/probe counters, populated by run().
         # Deterministic like the report: same seeds, same snapshot.
         from repro.obs import MetricsRegistry
@@ -239,12 +270,13 @@ class FaultCampaign:
 
     def run(self) -> Dict:
         """Run every (seed, app) cell; returns the deterministic report."""
-        results: List[Dict] = []
-        for seed in self.seeds:
-            plan = FaultPlan.generate(seed, max_faults=self.max_faults,
-                                      max_sessions=self.max_sessions)
-            for app in self.apps:
-                results.append(run_scenario(app, plan, registry=self.registry))
+        from repro.sim.parallel import map_seeded
+
+        cells = [(seed, app, self.max_faults, self.max_sessions)
+                 for seed in self.seeds for app in self.apps]
+        results = map_seeded(_run_cell, cells, workers=self.workers)
+        for record in results:
+            fold_record_into_registry(record, self.registry)
         counts = {outcome: 0 for outcome in OUTCOMES}
         for record in results:
             counts[record["outcome"]] += 1
@@ -289,6 +321,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "record plus fault trace")
     parser.add_argument("--app", default="ca",
                         help="app for --replay (default ca)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard seeded cells across N worker processes "
+                             "(0 = one per CPU); the merged report is "
+                             "byte-identical to a serial run (default 1)")
     parser.add_argument("--out", help="write the JSON report to this file")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write the campaign's metrics snapshot "
@@ -305,7 +341,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         unknown = [a for a in apps if a not in DRIVERS]
         if unknown:
             parser.error(f"unknown app(s) {unknown} (choose from {APPS})")
-        campaign = FaultCampaign(seeds=range(nseeds), apps=apps)
+        campaign = FaultCampaign(seeds=range(nseeds), apps=apps,
+                                 workers=args.workers)
         report = campaign.run()
         text = report_json(report)
         if args.metrics_out:

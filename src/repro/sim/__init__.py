@@ -11,6 +11,7 @@ paper's tables by reading virtual time rather than host wall time.
 """
 
 from repro.sim.clock import VirtualClock
+from repro.sim.parallel import map_seeded, resolve_workers
 from repro.sim.rng import DeterministicRNG
 from repro.sim.timing import (
     BROADCOM_BCM0102,
@@ -44,6 +45,8 @@ __all__ = [
     "Delay",
     "Receive",
     "DeterministicRNG",
+    "map_seeded",
+    "resolve_workers",
     "TimingProfile",
     "TPMTimings",
     "HostTimings",

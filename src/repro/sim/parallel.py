@@ -1,0 +1,57 @@
+"""Sharding seeded simulation runs across worker processes.
+
+Simulation runs in this repository are pure functions of their seeds and
+parameters, which makes them embarrassingly parallel: a fault-campaign
+cell, a fleet sweep point, or a benchmark trial can execute in any
+process and produce the identical record.  :func:`map_seeded` is the one
+executor they share — it preserves input order, so callers that merge
+results deterministically get **byte-identical output regardless of
+worker count**, and that property is what the parallel-vs-serial tests
+pin.
+
+``workers <= 1`` (the default) runs inline in the calling process with
+no multiprocessing import cost; anything the executor is asked to run
+must be a module-level callable with picklable items.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker request: ``None``/``0`` means one per CPU."""
+    if workers is None or workers == 0:
+        import os
+
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def map_seeded(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int = 1,
+) -> List[R]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    Results always come back in ``items`` order.  With ``workers > 1``
+    the calls are sharded over a ``multiprocessing.Pool``; ``fn`` must be
+    defined at module level (picklable) and each item must pickle.  The
+    chunk size is pinned to 1 so scheduling differences between hosts
+    cannot reorder side effects inside a worker — determinism comes from
+    the ordered merge, not from scheduling luck.
+    """
+    workers = resolve_workers(workers)
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    import multiprocessing
+
+    with multiprocessing.Pool(processes=min(workers, len(items))) as pool:
+        return pool.map(fn, items, chunksize=1)

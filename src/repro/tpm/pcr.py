@@ -61,6 +61,11 @@ class PCRBank:
 
     def __init__(self) -> None:
         self._values: List[bytes] = []
+        #: Monotonic mutation counter.  Increments on every extend/reset,
+        #: including the *hardware* extends SKINIT/TXT apply directly to
+        #: the bank — the TPM's idempotent-read cache watches it so those
+        #: out-of-band writes invalidate cached PCR reads too.
+        self.generation = 0
         self.reboot()
 
     def _check_index(self, index: int) -> None:
@@ -69,6 +74,7 @@ class PCRBank:
 
     def reboot(self) -> None:
         """Platform reset: static PCRs to 0, dynamic PCRs to −1."""
+        self.generation += 1
         self._values = [
             PCR_DYNAMIC_BOOT_VALUE if i in DYNAMIC_PCRS else PCR_STATIC_BOOT_VALUE
             for i in range(PCR_COUNT)
@@ -78,6 +84,7 @@ class PCRBank:
         """The hardware command the CPU issues during SKINIT: dynamic PCRs
         to zero.  Callers must have verified locality; software paths in
         :class:`repro.tpm.tpm.TPM` enforce that."""
+        self.generation += 1
         for i in DYNAMIC_PCRS:
             self._values[i] = PCR_DYNAMIC_RESET_VALUE
 
@@ -90,6 +97,7 @@ class PCRBank:
         """Extend PCR ``index`` with a 20-byte measurement; returns the new
         value."""
         self._check_index(index)
+        self.generation += 1
         self._values[index] = extend_value(self._values[index], measurement)
         return self._values[index]
 

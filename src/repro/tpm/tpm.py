@@ -114,6 +114,18 @@ class TPM:
         self._counters: Dict[int, MonotonicCounter] = {}
         self._next_counter_id = 1
 
+        # One-shot result cache for idempotent read commands (PCRRead,
+        # NV_ReadValue, ReadCounter, GetCapability).  Any state-mutating
+        # command clears it wholesale, so a cached value is always exactly
+        # what recomputation would produce.  GetRandom is deliberately
+        # excluded: it consumes RNG state and is never idempotent.  The
+        # cache changes *wall* cost only — every command still charges its
+        # full virtual latency and emits its trace event.
+        self._read_cache: Dict[Tuple, object] = {}
+        self._read_cache_gen = self.pcrs.generation
+        self._read_cache_hits = 0
+        self._read_cache_misses = 0
+
         #: Fault-injection hook, installed by the owning machine.  Called as
         #: ``fault_hook("tpm.command", op=..., **detail)`` at the entry of
         #: every command; may raise a typed :class:`~repro.errors.TPMError`
@@ -152,6 +164,33 @@ class TPM:
                 "tpm_command_ms", "Per-command TPM latency"
             ).observe(charged, op=op)
 
+    def _cached_read(self, key: Tuple, compute):
+        """Serve an idempotent read from the one-shot cache."""
+        if self.pcrs.generation != self._read_cache_gen:
+            # A hardware path (SKINIT/TXT) mutated the PCR bank directly,
+            # bypassing the command layer: treat it like any mutation.
+            self._invalidate_reads()
+        if key in self._read_cache:
+            self._read_cache_hits += 1
+            return self._read_cache[key]
+        value = compute()
+        self._read_cache[key] = value
+        self._read_cache_misses += 1
+        return value
+
+    def _invalidate_reads(self) -> None:
+        """Drop every cached read; called by all state-mutating commands."""
+        self._read_cache.clear()
+        self._read_cache_gen = self.pcrs.generation
+
+    def read_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size statistics of the idempotent-read cache."""
+        return {
+            "hits": self._read_cache_hits,
+            "misses": self._read_cache_misses,
+            "entries": len(self._read_cache),
+        }
+
     def interface(self, locality: int) -> "TPMInterface":
         """A command interface bound to ``locality``.
 
@@ -168,6 +207,7 @@ class TPM:
         NV storage and counters persist (they are non-volatile)."""
         self.pcrs.reboot()
         self._sessions.clear()
+        self._invalidate_reads()
 
     # -- ownership ------------------------------------------------------------
 
@@ -178,6 +218,7 @@ class TPM:
         if len(owner_auth) != 20:
             raise TPMError("owner auth must be 20 bytes")
         self._owner_auth = owner_auth
+        self._invalidate_reads()  # GetCapability reports ownership
 
     @property
     def owner_auth_installed(self) -> bool:
@@ -248,11 +289,13 @@ class TPM:
     def _pcr_read(self, index: int) -> bytes:
         self._fault("pcr_read", pcr=index)
         self._charge(self.timings.pcr_read_ms, "pcr_read", pcr=index)
-        return self.pcrs.read(index)
+        return self._cached_read(("pcr_read", index),
+                                 lambda: self.pcrs.read(index))
 
     def _pcr_extend(self, index: int, measurement: bytes) -> bytes:
         self._fault("pcr_extend", pcr=index)
         value = self.pcrs.extend(index, measurement)
+        self._invalidate_reads()
         self._charge(
             self.timings.extend_ms, "pcr_extend", pcr=index, measurement=measurement.hex()
         )
@@ -264,6 +307,7 @@ class TPM:
                 "dynamic PCR reset requires locality 4 (CPU hardware command)"
             )
         self.pcrs.dynamic_reset()
+        self._invalidate_reads()
         self._trace.emit(self._clock.now(), "tpm", "dynamic_pcr_reset", pcrs=list(DYNAMIC_PCRS))
         if self.obs is not None:
             self.obs.event("tpm.dynamic_pcr_reset", category="tpm",
@@ -397,6 +441,7 @@ class TPM:
             write_pcr_policy=dict(write_pcr_policy) if write_pcr_policy else None,
         )
         self._nv_spaces[index] = space
+        self._invalidate_reads()
         self._charge(self.timings.nv_op_ms, "nv_define", index=index, size=size)
         return space
 
@@ -417,6 +462,7 @@ class TPM:
         space.check_size(data)
         space.data = data
         space.written = True
+        self._invalidate_reads()
         self._charge(self.timings.nv_op_ms, "nv_write", index=index, nbytes=len(data))
 
     def _nv_read(self, index: int) -> bytes:
@@ -426,7 +472,7 @@ class TPM:
         if not space.written:
             raise TPMNVError(f"NV space {index:#x} has never been written")
         self._charge(self.timings.nv_op_ms, "nv_read", index=index)
-        return space.data
+        return self._cached_read(("nv_read", index), lambda: space.data)
 
     def _create_counter(self, label: bytes, session_id: int, nonce_odd: bytes, proof: bytes) -> int:
         digest = command_digest("TPM_CreateCounter", label)
@@ -434,6 +480,7 @@ class TPM:
         counter = MonotonicCounter(counter_id=self._next_counter_id, label=label)
         self._counters[counter.counter_id] = counter
         self._next_counter_id += 1
+        self._invalidate_reads()
         self._charge(self.timings.nv_op_ms, "counter_create", counter=counter.counter_id)
         return counter.counter_id
 
@@ -446,23 +493,28 @@ class TPM:
     def _increment_counter(self, counter_id: int) -> int:
         self._fault("counter_increment", counter=counter_id)
         value = self._counter(counter_id).increment()
+        self._invalidate_reads()
         self._charge(self.timings.nv_op_ms, "counter_increment", counter=counter_id, value=value)
         return value
 
     def _read_counter(self, counter_id: int) -> int:
         self._charge(self.timings.pcr_read_ms, "counter_read", counter=counter_id)
-        return self._counter(counter_id).value
+        return self._cached_read(("counter_read", counter_id),
+                                 lambda: self._counter(counter_id).value)
 
     def _get_capability(self) -> Dict[str, object]:
         self._charge(self.timings.pcr_read_ms, "get_capability")
-        return {
+        cached = self._cached_read(("get_capability",), lambda: {
             "version": "1.2",
             "pcr_count": 24,
             "vendor": self.timings.name,
             "nv_spaces": sorted(self._nv_spaces),
             "counters": sorted(self._counters),
             "owned": self.owner_auth_installed,
-        }
+        })
+        # Hand out a fresh copy: callers may mutate the dict they receive.
+        return {k: list(v) if isinstance(v, list) else v
+                for k, v in cached.items()}
 
 
 class TPMInterface:
@@ -484,6 +536,10 @@ class TPMInterface:
     def timings(self) -> TPMTimings:
         """The active timing profile (read-only)."""
         return self._tpm.timings
+
+    def read_cache_info(self) -> Dict[str, int]:
+        """Statistics of the device's idempotent-read cache."""
+        return self._tpm.read_cache_info()
 
     @property
     def aik_public(self):

@@ -78,6 +78,9 @@ class TestRunScenario:
             "campaign_retries_total", (("app", "rootkit"),))] >= 1
 
 
+# Full campaign sweeps: skipped by the default CI job (-m "not slow"),
+# run in full by the nightly workflow.
+@pytest.mark.slow
 class TestCampaignReport:
     def run_small(self):
         return FaultCampaign(seeds=range(3), apps=("rootkit", "ssh")).run()

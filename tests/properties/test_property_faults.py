@@ -19,7 +19,9 @@ from repro.errors import PALRuntimeError
 from repro.faults import FaultInjector, FaultPlan, FaultSpec, run_scenario
 from repro.tpm.structures import SealedBlob
 
-pytestmark = pytest.mark.faults
+# Multi-seed adversarial campaigns: skipped by the default CI job
+# (-m "not slow"), run in full by the nightly workflow.
+pytestmark = [pytest.mark.faults, pytest.mark.slow]
 
 
 class SealPAL(PAL):

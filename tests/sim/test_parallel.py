@@ -1,0 +1,52 @@
+"""The seeded-map executor: order, worker resolution, parallel identity."""
+
+import pytest
+
+from repro.sim.parallel import map_seeded, resolve_workers
+
+
+def square(x):
+    """Module-level so a worker process can unpickle it."""
+    return x * x
+
+
+def seeded_digest(seed):
+    """A deterministic 'simulation': hash of a seeded byte pattern."""
+    from repro.crypto.sha1 import sha1
+
+    return sha1(bytes((seed * i) & 0xFF for i in range(64))).hex()
+
+
+class TestResolveWorkers:
+    def test_none_and_zero_mean_one_per_cpu(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) == resolve_workers(None)
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestMapSeeded:
+    def test_inline_mode_preserves_order(self):
+        assert map_seeded(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_items(self):
+        assert map_seeded(square, []) == []
+        assert map_seeded(square, [], workers=4) == []
+
+    def test_single_item_runs_inline_even_with_workers(self):
+        assert map_seeded(square, [7], workers=8) == [49]
+
+    def test_parallel_results_identical_to_serial(self):
+        seeds = list(range(8))
+        serial = map_seeded(seeded_digest, seeds, workers=1)
+        parallel = map_seeded(seeded_digest, seeds, workers=2)
+        assert parallel == serial
+
+    def test_parallel_preserves_input_order(self):
+        items = [5, 3, 8, 1, 9, 2]
+        assert map_seeded(square, items, workers=2) == [square(i) for i in items]

@@ -1,0 +1,128 @@
+"""The TPM idempotent-read cache: hits, invalidation, exclusions.
+
+The cache changes *wall* cost only — every command still charges its
+virtual latency and emits its trace event — so these tests focus on
+correctness: cached reads return the same values, every mutating path
+(including the hardware SKINIT/TXT path that writes the PCR bank
+directly, bypassing the command layer) invalidates, and non-idempotent
+commands never hit the cache.
+"""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRNG
+from repro.sim.timing import BROADCOM_BCM0102
+from repro.sim.trace import EventTrace
+from repro.tpm.tpm import LOCALITY_CPU, TPM
+
+
+@pytest.fixture
+def tpm():
+    return TPM(VirtualClock(), EventTrace(), DeterministicRNG(42),
+               BROADCOM_BCM0102, key_bits=512)
+
+
+@pytest.fixture
+def iface(tpm):
+    return tpm.interface(0)
+
+
+class TestCacheHits:
+    def test_repeated_pcr_read_hits_the_cache(self, tpm, iface):
+        first = iface.pcr_read(17)
+        second = iface.pcr_read(17)
+        assert first == second
+        info = tpm.read_cache_info()
+        assert info["hits"] >= 1
+        assert info["entries"] >= 1
+
+    def test_cached_read_still_charges_virtual_time(self, tpm, iface):
+        iface.pcr_read(17)
+        before = tpm._clock.now()
+        iface.pcr_read(17)  # cache hit
+        assert tpm._clock.now() > before
+
+    def test_get_capability_hits_and_returns_fresh_copies(self, iface):
+        first = iface.get_capability()
+        second = iface.get_capability()
+        assert first == second
+        assert first is not second  # callers cannot poison the cache
+        first["pcr_count"] = -1
+        assert iface.get_capability()["pcr_count"] != -1
+
+    def test_interface_exposes_cache_info(self, tpm, iface):
+        assert iface.read_cache_info() == tpm.read_cache_info()
+
+
+class TestInvalidation:
+    def test_pcr_extend_invalidates(self, tpm, iface):
+        stale = iface.pcr_read(17)
+        iface.pcr_extend(17, b"\x11" * 20)
+        assert iface.pcr_read(17) != stale
+
+    def test_dynamic_reset_invalidates(self, tpm, iface):
+        iface.pcr_extend(17, b"\x11" * 20)
+        stale = iface.pcr_read(17)
+        tpm.interface(LOCALITY_CPU).dynamic_pcr_reset()
+        assert iface.pcr_read(17) == b"\x00" * 20
+        assert iface.pcr_read(17) != stale
+
+    def test_direct_hardware_pcr_write_invalidates_via_generation(self, tpm, iface):
+        """SKINIT/TXT extend the PCR bank directly (``machine.tpm.pcrs``),
+        bypassing the command layer; the generation counter catches it."""
+        stale = iface.pcr_read(17)
+        tpm.pcrs.extend(17, b"\x22" * 20)  # the hardware path
+        assert iface.pcr_read(17) != stale
+
+    def test_reboot_invalidates(self, tpm, iface):
+        iface.pcr_extend(0, b"\x33" * 20)
+        extended = iface.pcr_read(0)
+        tpm.reboot()
+        assert iface.pcr_read(0) != extended
+
+    def test_nv_write_invalidates_nv_read(self, tpm, iface):
+        from repro.osim.tpm_driver import OSTPMDriver
+
+        owner = b"\x05" * 20
+        tpm.take_ownership(owner)
+        driver = OSTPMDriver(iface)
+        driver.define_nv_space(0x1000, 4, owner)
+        iface.nv_write(0x1000, b"aaaa")
+        assert iface.nv_read(0x1000) == b"aaaa"
+        assert iface.nv_read(0x1000) == b"aaaa"  # cached
+        iface.nv_write(0x1000, b"bbbb")
+        assert iface.nv_read(0x1000) == b"bbbb"
+
+    def test_counter_increment_invalidates_counter_read(self, tpm, iface):
+        from repro.osim.tpm_driver import OSTPMDriver
+
+        owner = b"\x05" * 20
+        tpm.take_ownership(owner)
+        driver = OSTPMDriver(iface)
+        counter_id = driver.create_counter(b"ctr", owner)
+
+        assert iface.read_counter(counter_id) == iface.read_counter(counter_id)
+        before = iface.read_counter(counter_id)
+        iface.increment_counter(counter_id)
+        assert iface.read_counter(counter_id) == before + 1
+
+
+class TestGenerationCounter:
+    def test_every_pcr_bank_mutation_bumps_generation(self, tpm):
+        gen = tpm.pcrs.generation
+        tpm.pcrs.extend(17, b"\x01" * 20)
+        assert tpm.pcrs.generation == gen + 1
+        tpm.pcrs.dynamic_reset()
+        assert tpm.pcrs.generation == gen + 2
+        tpm.pcrs.reboot()
+        assert tpm.pcrs.generation == gen + 3
+
+
+class TestExclusions:
+    def test_get_random_is_never_cached(self, tpm, iface):
+        entries_before = tpm.read_cache_info()["entries"]
+        a = iface.get_random(20)
+        b = iface.get_random(20)
+        assert a != b  # fresh entropy every call
+        assert tpm.read_cache_info()["entries"] == entries_before
