@@ -1,0 +1,64 @@
+"""Static analysis for the repo's two load-bearing invariants.
+
+Flicker's claim is a *measured, minimal* TCB; this reproduction's own
+claim is byte-identical determinism (fault campaigns, fleet reports and
+bench baselines are all compared byte-for-byte).  Neither survives by
+accident, so this package checks both from the source text itself:
+
+* :mod:`repro.analysis.tcb` — builds the import graph rooted at the PAL
+  runtime (``core/pal.py``, ``core/slb_core.py``, ``core/modules/*``),
+  enforces the allowlisted TCB closure, and emits the per-PAL TCB report
+  (``ANALYSIS_tcb.json``, the repro analogue of the paper's Figure 6
+  TCB-size table).
+* :mod:`repro.analysis.determinism` — forbids wall-clock and ambient
+  entropy, unordered-set iteration feeding exporters, and ``id()``-based
+  sort keys.
+* :mod:`repro.analysis.secret_flow` — tracks values from Unseal /
+  GetRandom / key-generation call sites into logs, trace events,
+  exception messages and exporter payloads.
+
+Drive it with ``python -m repro.tools.lint``; see ``docs/ANALYSIS.md``.
+
+Example
+-------
+>>> from repro.analysis import analyze_source
+>>> findings = analyze_source(
+...     "import time\\n"
+...     "def stamp(report):\\n"
+...     "    report['at'] = time.time()\\n",
+...     module="repro.sim.example",
+... )
+>>> [(f.rule, f.line) for f in findings]
+[('DET001', 3)]
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    analyze_source,
+    get_rule,
+    load_baseline,
+    load_project,
+    render_baseline,
+    run_rules,
+    split_baselined,
+)
+from repro.analysis import determinism, secret_flow, tcb  # noqa: F401  (register rules)
+from repro.analysis.tcb import generate_tcb_report
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze_source",
+    "generate_tcb_report",
+    "get_rule",
+    "load_baseline",
+    "load_project",
+    "render_baseline",
+    "run_rules",
+    "split_baselined",
+]

@@ -1,0 +1,350 @@
+"""TCB audit: the import-graph closure of the PAL runtime, enforced.
+
+The paper's core argument is quantitative: Figure 6 counts the lines of
+code a PAL must trust, and the whole design exists to keep that count
+small.  This module is the reproduction's enforcement of the same
+property.  It roots an import graph at the PAL runtime —
+``repro.core.pal``, ``repro.core.slb_core`` and every linkable module
+under ``repro.core.modules`` — computes the transitive closure, and
+checks every repo-internal module it reaches against an allowlist.
+
+Reaching :mod:`repro.osim` (the untrusted-OS simulation),
+:mod:`repro.obs`, :mod:`repro.faults`, :mod:`repro.tools`,
+:mod:`repro.apps`, :mod:`repro.bench` or :mod:`repro.analysis` from PAL
+code is an error (TCB001): those subsystems are by definition outside
+the TCB, and an import from inside it would silently grow every PAL's
+trusted base.  ``if TYPE_CHECKING:`` imports are exempt — they never
+execute at run time.
+
+The audit also emits the repro analogue of the paper's TCB-size table:
+``ANALYSIS_tcb.json`` lists the audited closure (module → LoC) and, for
+every PAL subclass in the tree, its linked registry modules with the
+paper's Figure 6 LoC numbers, its own LoC, and the transitive Python
+module set backing it.  The committed report must match the source
+(TCB002), so any PR that grows the TCB has to update the report — and
+the reviewer sees the growth in the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.astutil import ImportEdge, count_loc, dotted_name, iter_imports
+from repro.analysis.engine import Finding, Project, Rule, SourceFile, register
+
+#: Report file name (committed at the repo root) and format tag.
+TCB_REPORT_NAME = "ANALYSIS_tcb.json"
+TCB_REPORT_FORMAT = "repro-analysis-tcb"
+TCB_REPORT_VERSION = 1
+
+#: The import-graph roots: the code every Flicker session runs measured.
+TCB_ROOTS = (
+    "repro.core.pal",
+    "repro.core.slb_core",
+    "repro.core.modules",
+)
+
+#: Repo-internal prefixes the TCB closure may touch.
+TCB_ALLOWED_PREFIXES = (
+    "repro.core",
+    "repro.crypto",
+    "repro.errors",
+    "repro.hw",
+    "repro.sim",
+    "repro.tpm",
+)
+
+#: Repo-internal prefixes that are *never* TCB, allowlist or not.
+TCB_FORBIDDEN_PREFIXES = (
+    "repro.analysis",
+    "repro.apps",
+    "repro.bench",
+    "repro.faults",
+    "repro.obs",
+    "repro.osim",
+    "repro.tools",
+)
+
+
+def _matches_prefix(module: str, prefixes: Iterable[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def _resolve_target(project: Project, target: str) -> Optional[str]:
+    """Map an import target onto a project module, if it names one.
+
+    ``from repro.core import slb`` yields both ``repro.core`` and
+    ``repro.core.slb``; only names that actually exist as modules become
+    graph edges, so imported *symbols* never masquerade as modules.
+    """
+    if project.module_exists(target):
+        return target
+    return None
+
+
+def import_graph(project: Project) -> Dict[str, List[ImportEdge]]:
+    """module → runtime import edges (targets resolved, TYPE_CHECKING
+    imports dropped)."""
+    graph: Dict[str, List[ImportEdge]] = {}
+    for source in project.files:
+        if not source.module:
+            continue
+        edges: List[ImportEdge] = []
+        seen = set()
+        for edge in iter_imports(source.tree, source.module):
+            if edge.type_checking:
+                continue
+            resolved = _resolve_target(project, edge.target)
+            if resolved is None or resolved == source.module:
+                continue
+            key = (resolved, edge.line)
+            if key not in seen:
+                seen.add(key)
+                edges.append(ImportEdge(resolved, edge.line, False))
+        graph[source.module] = edges
+    return graph
+
+
+def expand_roots(project: Project, roots: Iterable[str] = TCB_ROOTS) -> List[str]:
+    """Roots with package names expanded to their present submodules."""
+    expanded = set()
+    for root in roots:
+        for module in project.by_module:
+            if module == root or module.startswith(root + "."):
+                expanded.add(module)
+    return sorted(expanded)
+
+
+def tcb_closure(
+    project: Project, roots: Iterable[str] = TCB_ROOTS
+) -> Tuple[List[str], Dict[str, List[ImportEdge]]]:
+    """The transitive import closure from ``roots``; returns the sorted
+    closure and the import graph it was computed over."""
+    graph = import_graph(project)
+    closure = set()
+    frontier = list(expand_roots(project, roots))
+    while frontier:
+        module = frontier.pop()
+        if module in closure:
+            continue
+        closure.add(module)
+        for edge in graph.get(module, ()):
+            if edge.target not in closure:
+                frontier.append(edge.target)
+    return sorted(closure), graph
+
+
+@register
+class TCBForbiddenImportRule(Rule):
+    """PAL-runtime code must stay inside the allowlisted TCB closure.
+
+    The import graph rooted at ``repro.core.pal``, ``repro.core.slb_core``
+    and ``repro.core.modules.*`` may only reach modules under
+    ``repro.core``, ``repro.crypto``, ``repro.errors``, ``repro.hw``,
+    ``repro.sim`` and ``repro.tpm``.  Reaching ``repro.osim``,
+    ``repro.obs``, ``repro.faults``, ``repro.tools``, ``repro.apps``,
+    ``repro.bench`` or ``repro.analysis`` means untrusted or tooling
+    code was pulled into every PAL's trusted base.
+
+    Fix it by moving the shared functionality into an allowlisted
+    package (as ``repro.tpm.driver`` does for the TPM session plumbing)
+    or gating the import under ``if TYPE_CHECKING:`` when it is
+    annotation-only.  Stdlib imports are not audited.
+    """
+
+    id = "TCB001"
+    title = "PAL TCB reaches a forbidden module"
+    severity = "error"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        closure, graph = tcb_closure(project)
+        for module in closure:
+            source = project.by_module.get(module)
+            if source is None:
+                continue
+            # Only the boundary crossing is the defect: a forbidden module
+            # already in the closure was reported at its import site, and
+            # its own imports are not separately actionable.
+            if _matches_prefix(module, TCB_FORBIDDEN_PREFIXES):
+                continue
+            for edge in graph.get(module, ()):
+                bad = _matches_prefix(edge.target, TCB_FORBIDDEN_PREFIXES) or (
+                    edge.target.startswith("repro.")
+                    and not _matches_prefix(edge.target, TCB_ALLOWED_PREFIXES)
+                )
+                if bad:
+                    yield self.finding(
+                        source,
+                        edge.line,
+                        f"TCB module '{module}' imports forbidden module "
+                        f"'{edge.target}'",
+                    )
+
+
+# -- the TCB report ------------------------------------------------------------
+
+
+def _literal_str_tuple(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        values = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                values.append(element.value)
+            else:
+                return None
+        return tuple(values)
+    return None
+
+
+def _class_segment_loc(source: SourceFile, node: ast.ClassDef) -> int:
+    lines = source.text.splitlines()[node.lineno - 1: node.end_lineno]
+    return count_loc("\n".join(lines))
+
+
+def find_pals(project: Project) -> List[Dict[str, object]]:
+    """Every ``PAL`` subclass in the project, statically extracted.
+
+    Reads the class-level ``name`` and ``modules`` literals the PAL
+    programming model requires, and measures the class body's LoC — the
+    code SKINIT would measure.
+    """
+    pals: List[Dict[str, object]] = []
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {dotted_name(base) for base in node.bases}
+            if not bases & {"PAL", "pal.PAL", "core.PAL", "repro.core.PAL"}:
+                continue
+            pal_name = node.name
+            linked: Tuple[str, ...] = ()
+            for statement in node.body:
+                if isinstance(statement, ast.Assign):
+                    targets = [dotted_name(t) for t in statement.targets]
+                elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                    targets = [dotted_name(statement.target)]
+                else:
+                    continue
+                if "name" in targets and isinstance(statement.value, ast.Constant):
+                    if isinstance(statement.value.value, str):
+                        pal_name = statement.value.value
+                if "modules" in targets:
+                    literal = _literal_str_tuple(statement.value)
+                    if literal is not None:
+                        linked = literal
+            pals.append({
+                "class": node.name,
+                "module": source.module,
+                "path": source.relpath,
+                "name": pal_name,
+                "declared_modules": linked,
+                "pal_loc": _class_segment_loc(source, node),
+            })
+    return sorted(pals, key=lambda p: (str(p["module"]), str(p["class"])))
+
+
+#: Which Python source modules implement each registry (Figure 6) module.
+REGISTRY_BACKING = {
+    "slb_core": ("repro.core.slb_core",),
+    "os_protection": ("repro.core.modules.os_protection",),
+    "tpm_driver": ("repro.core.modules.tpm_utils", "repro.tpm.driver"),
+    "tpm_utils": ("repro.core.modules.tpm_utils", "repro.tpm.driver"),
+    "crypto": ("repro.core.modules.crypto_mod",),
+    "crypto_sha1": ("repro.core.modules.crypto_mod",),
+    "memory_mgmt": ("repro.core.modules.memory_mgmt",),
+    "secure_channel": ("repro.core.modules.secure_channel",),
+}
+
+
+def generate_tcb_report(project: Project) -> str:
+    """The canonical TCB report: byte-identical for identical sources."""
+    from repro.core.modules import MODULE_REGISTRY, resolve_modules
+
+    closure, graph = tcb_closure(project)
+    closure_loc = {
+        module: count_loc(project.by_module[module].text)
+        for module in closure
+        if module in project.by_module
+    }
+
+    pal_entries: Dict[str, Dict[str, object]] = {}
+    for pal in find_pals(project):
+        declared = tuple(pal["declared_modules"])  # type: ignore[arg-type]
+        resolved = resolve_modules(declared)
+        registry_loc = {
+            name: MODULE_REGISTRY[name].lines_of_code
+            for name in resolved
+            if name in MODULE_REGISTRY
+        }
+        backing = set()
+        for name in resolved:
+            backing.update(REGISTRY_BACKING.get(name, ()))
+        tcb_modules = sorted(
+            set(closure_loc) | {m for m in backing if m in project.by_module}
+        )
+        tcb_loc = sum(
+            closure_loc.get(m, count_loc(project.by_module[m].text))
+            for m in tcb_modules
+        )
+        key = f"{pal['module']}.{pal['class']}"
+        pal_entries[key] = {
+            "name": pal["name"],
+            "path": pal["path"],
+            "pal_loc": pal["pal_loc"],
+            "linked_modules": list(resolved),
+            "figure6_loc": registry_loc,
+            "figure6_total_loc": sum(registry_loc.values()),
+            "tcb_modules": tcb_modules,
+            "tcb_python_loc": tcb_loc,
+            "total_loc": pal["pal_loc"] + sum(registry_loc.values()),
+        }
+
+    doc = {
+        "format": TCB_REPORT_FORMAT,
+        "version": TCB_REPORT_VERSION,
+        "roots": list(expand_roots(project)),
+        "allowed_prefixes": list(TCB_ALLOWED_PREFIXES),
+        "forbidden_prefixes": list(TCB_FORBIDDEN_PREFIXES),
+        "closure": closure_loc,
+        "closure_total_loc": sum(closure_loc.values()),
+        "pals": pal_entries,
+    }
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+@register
+class TCBReportStaleRule(Rule):
+    """The committed ``ANALYSIS_tcb.json`` must match the source tree.
+
+    The report is the repro analogue of the paper's Figure 6 TCB-size
+    table: the audited import closure with LoC, and every PAL's linked
+    modules and sizes.  It is generated deterministically from the
+    source, so a mismatch means the TCB changed without the report —
+    regenerate it with ``python -m repro.tools.lint --update-tcb-report``
+    and let the diff show the growth.
+    """
+
+    id = "TCB002"
+    title = "committed TCB report is stale"
+    severity = "error"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        report_path = project.root / TCB_REPORT_NAME
+        expected = generate_tcb_report(project)
+        if not report_path.exists():
+            yield Finding(
+                self.id, TCB_REPORT_NAME, 1,
+                f"{TCB_REPORT_NAME} is missing; regenerate it with "
+                "--update-tcb-report", self.severity,
+            )
+            return
+        if report_path.read_text(encoding="utf-8") != expected:
+            yield Finding(
+                self.id, TCB_REPORT_NAME, 1,
+                f"{TCB_REPORT_NAME} does not match the source tree; "
+                "regenerate it with --update-tcb-report", self.severity,
+            )

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.crypto.sha1 import sha1
-from repro.osim.tpm_driver import OSTPMDriver
+from repro.tpm.driver import TPMSessionDriver
 from repro.tpm.structures import SealedBlob
 from repro.tpm.tpm import TPMInterface
 
@@ -36,7 +36,7 @@ class PALTPMInterface:
     """
 
     def __init__(self, interface: TPMInterface, utils_linked: bool = True) -> None:
-        self._driver = OSTPMDriver(interface, nonce_seed=b"pal-tpm-utils")
+        self._driver = TPMSessionDriver(interface, nonce_seed=b"pal-tpm-utils")
         self._utils_linked = utils_linked
 
     def _require_utils(self, operation: str) -> None:

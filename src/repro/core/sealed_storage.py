@@ -195,7 +195,10 @@ class ReplayProtectedStorage:
         )
         j = self._backend.read()
         if j_prime != j:
+            # The embedded version came out of the sealed payload; keep it
+            # out of the exception text — error messages cross back into
+            # the untrusted OS (secret-hygiene lint SEC001).
             raise SealedStorageError(
-                f"replay detected: blob carries version {j_prime}, counter is at {j}"
+                f"replay detected: blob version does not match counter at {j}"
             )
         return data

@@ -147,6 +147,8 @@ class FlickerPlatform:
         )
         self.retry_policy = retry_policy
         if observability:
+            import repro.obs  # noqa: F401  (registers the hub factory)
+
             self.machine.enable_observability()
         self._image_cache: Dict[Tuple[int, bool], SLBImage] = {}
         self._installed: Optional[SLBImage] = None

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from repro.crypto.sha1 import sha1_cached as sha1
-from repro.errors import DMAProtectionError
+from repro.errors import DMAProtectionError, ReproError
 from repro.hw.apic import APIC
 from repro.hw.cpu import CPU, GDT
 from repro.hw.dev import DeviceExclusionVector
@@ -109,6 +109,17 @@ class Machine:
 
     # -- observability -----------------------------------------------------------
 
+    #: Hub factory registered by :mod:`repro.obs` when it is imported.
+    #: Dependency inversion keeps the observability layer out of the TCB:
+    #: hardware code never imports ``repro.obs`` (enforced by TCB001).
+    _hub_factory = None
+
+    @classmethod
+    def register_hub_factory(cls, factory) -> None:
+        """Called by :mod:`repro.obs` to provide the ObservabilityHub
+        constructor without the TCB importing the observability layer."""
+        cls._hub_factory = factory
+
     def enable_observability(self):
         """Attach an :class:`repro.obs.ObservabilityHub` and wire it in.
 
@@ -117,11 +128,18 @@ class Machine:
         and the hardware layers start counting SKINITs and DEV-blocked
         DMA.  Idempotent; returns the hub.  Call
         :meth:`disable_observability` to unwire it again.
+
+        Requires :mod:`repro.obs` to have been imported (it registers
+        the hub factory); the public entry points that enable
+        observability do so.
         """
         if self.obs is None:
-            from repro.obs import ObservabilityHub
-
-            self.obs = ObservabilityHub(self.clock, machine=self.machine_id)
+            if Machine._hub_factory is None:
+                raise ReproError(
+                    "observability requires 'import repro.obs' (it registers "
+                    "the hub factory; the TCB does not import it itself)"
+                )
+            self.obs = Machine._hub_factory(self.clock, machine=self.machine_id)
             self.clock.set_span_listener(self.obs)
             self.tpm.obs = self.obs
         return self.obs

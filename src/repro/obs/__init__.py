@@ -59,3 +59,10 @@ __all__ = [
     "metrics_to_jsonl",
     "trace_to_chrome_events",
 ]
+
+# Dependency inversion: the hardware layer exposes
+# Machine.enable_observability() but must never import this package (the
+# TCB audit forbids it), so the hub constructor is registered from here.
+from repro.hw.machine import Machine as _Machine
+
+_Machine.register_hub_factory(ObservabilityHub)

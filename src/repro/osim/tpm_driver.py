@@ -13,41 +13,25 @@ the quote-on-request service.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Iterable
 
-from repro.crypto.sha1 import sha1
 from repro.osim.kernel import UntrustedKernel
+from repro.tpm.driver import TPMSessionDriver
 from repro.tpm.privacy_ca import AIKCertificate, PrivacyCA
-from repro.tpm.structures import Quote, SealedBlob
-from repro.tpm.tpm import TPMInterface, command_digest
-from repro.tpm.structures import PCRComposite
+from repro.tpm.structures import Quote
+from repro.tpm.tpm import command_digest
 
 
-class OSTPMDriver:
-    """Convenience layer over the TPM's authorized command set.
+class OSTPMDriver(TPMSessionDriver):
+    """The untrusted OS's TPM driver: the shared session plumbing of
+    :class:`~repro.tpm.driver.TPMSessionDriver` plus TPM_Quote.
 
-    Handles OIAP session setup, odd-nonce generation, and proof
-    computation so that callers — the tqd, the flicker-module, and PALs'
-    TPM-utilities module alike — can issue one-line Seal/Unseal/Quote
-    calls.  This mirrors the split in the paper between the tiny "TPM
-    Driver" and the richer "TPM Utilities" (Figure 6).
+    Quote lives here rather than on the shared base because only the
+    OS-side attestation service (the tqd) ever quotes — PALs attest via
+    the session record the SLB Core extends, and keeping AIK handling
+    out of :mod:`repro.core.modules.tpm_utils` keeps it out of every
+    PAL's TCB.
     """
-
-    def __init__(self, interface: TPMInterface, nonce_seed: bytes = b"os-driver") -> None:
-        self._tpm = interface
-        self._nonce_counter = 0
-        self._nonce_seed = nonce_seed
-
-    @property
-    def interface(self) -> TPMInterface:
-        """The underlying locality-bound TPM interface."""
-        return self._tpm
-
-    def _nonce_odd(self) -> bytes:
-        self._nonce_counter += 1
-        return sha1(self._nonce_seed + self._nonce_counter.to_bytes(8, "big"))
-
-    # -- authorized commands ----------------------------------------------------
 
     def quote(self, nonce: bytes, pcr_indices: Iterable[int]) -> Quote:
         """TPM_Quote with AIK usage auth handled internally."""
@@ -57,81 +41,6 @@ class OSTPMDriver:
         digest = command_digest("TPM_Quote", nonce, bytes(indices))
         proof = session.compute_proof(self._tpm.aik_auth, digest, nonce_odd)
         return self._tpm.quote(nonce, indices, session, nonce_odd, proof)
-
-    def seal(self, data: bytes, pcr_policy: Dict[int, bytes]) -> SealedBlob:
-        """TPM_Seal with SRK auth handled internally."""
-        session = self._tpm.start_oiap()
-        nonce_odd = self._nonce_odd()
-        policy_blob = PCRComposite.from_mapping(pcr_policy).encode() if pcr_policy else b""
-        digest = command_digest("TPM_Seal", data, policy_blob)
-        proof = session.compute_proof(self._tpm.srk_auth, digest, nonce_odd)
-        return self._tpm.seal(data, pcr_policy, session, nonce_odd, proof)
-
-    def unseal(self, blob: SealedBlob) -> bytes:
-        """TPM_Unseal with SRK auth handled internally.  PCR policy is
-        still enforced by the TPM — auth alone releases nothing."""
-        session = self._tpm.start_oiap()
-        nonce_odd = self._nonce_odd()
-        digest = command_digest("TPM_Unseal", blob.ciphertext)
-        proof = session.compute_proof(self._tpm.srk_auth, digest, nonce_odd)
-        return self._tpm.unseal(blob, session, nonce_odd, proof)
-
-    def define_nv_space(
-        self,
-        index: int,
-        size: int,
-        owner_auth: bytes,
-        read_pcr_policy: Optional[Dict[int, bytes]] = None,
-        write_pcr_policy: Optional[Dict[int, bytes]] = None,
-    ):
-        """TPM_NV_DefineSpace using the given owner authorization."""
-        session = self._tpm.start_oiap()
-        nonce_odd = self._nonce_odd()
-        digest = command_digest(
-            "TPM_NV_DefineSpace", index.to_bytes(4, "big"), size.to_bytes(4, "big")
-        )
-        proof = session.compute_proof(owner_auth, digest, nonce_odd)
-        return self._tpm.nv_define_space(
-            index, size, read_pcr_policy, write_pcr_policy, session, nonce_odd, proof
-        )
-
-    def create_counter(self, label: bytes, owner_auth: bytes) -> int:
-        """Create a monotonic counter using owner authorization."""
-        session = self._tpm.start_oiap()
-        nonce_odd = self._nonce_odd()
-        digest = command_digest("TPM_CreateCounter", label)
-        proof = session.compute_proof(owner_auth, digest, nonce_odd)
-        return self._tpm.create_counter(label, session, nonce_odd, proof)
-
-    # -- unauthorized commands ------------------------------------------------------
-
-    def pcr_read(self, index: int) -> bytes:
-        """TPM_PCRRead."""
-        return self._tpm.pcr_read(index)
-
-    def pcr_extend(self, index: int, measurement: bytes) -> bytes:
-        """TPM_Extend."""
-        return self._tpm.pcr_extend(index, measurement)
-
-    def get_random(self, num_bytes: int) -> bytes:
-        """TPM_GetRandom."""
-        return self._tpm.get_random(num_bytes)
-
-    def nv_read(self, index: int) -> bytes:
-        """TPM_NV_ReadValue."""
-        return self._tpm.nv_read(index)
-
-    def nv_write(self, index: int, data: bytes) -> None:
-        """TPM_NV_WriteValue."""
-        self._tpm.nv_write(index, data)
-
-    def increment_counter(self, counter_id: int) -> int:
-        """TPM_IncrementCounter."""
-        return self._tpm.increment_counter(counter_id)
-
-    def read_counter(self, counter_id: int) -> int:
-        """TPM_ReadCounter."""
-        return self._tpm.read_counter(counter_id)
 
 
 class TPMQuoteDaemon:

@@ -1,0 +1,161 @@
+"""Static-analysis driver: ``python -m repro.tools.lint``.
+
+Runs the :mod:`repro.analysis` rule families — the TCB audit, the
+determinism lints and the secret-hygiene checker — over the source tree
+and gates on zero non-baselined findings.
+
+Usage::
+
+    python -m repro.tools.lint                  # lint, exit 1 on findings
+    python -m repro.tools.lint --json           # machine-readable findings
+    python -m repro.tools.lint --explain TCB001 # why a rule exists
+    python -m repro.tools.lint --update-baseline
+    python -m repro.tools.lint --update-tcb-report
+
+Paths and file locations come from the ``[repro:lint]`` section of
+``setup.cfg`` (flags override).  Exit codes: 0 clean, 1 findings, 2
+usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import configparser
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import (
+    all_rules,
+    get_rule,
+    load_baseline,
+    load_project,
+    render_baseline,
+    run_rules,
+    split_baselined,
+)
+from repro.analysis.tcb import TCB_REPORT_NAME, generate_tcb_report
+
+FINDINGS_FORMAT = "repro-analysis-findings"
+FINDINGS_VERSION = 1
+
+DEFAULT_PATHS = ["src/repro"]
+DEFAULT_BASELINE = "ANALYSIS_baseline.json"
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """The nearest ancestor holding ``setup.cfg`` (else the start dir)."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "setup.cfg").is_file():
+            return candidate
+    return current
+
+
+def read_config(root: Path) -> dict:
+    """The ``[repro:lint]`` section of ``setup.cfg``, with defaults."""
+    config = {"paths": DEFAULT_PATHS, "baseline": DEFAULT_BASELINE,
+              "tcb_report": TCB_REPORT_NAME}
+    parser = configparser.ConfigParser()
+    setup_cfg = root / "setup.cfg"
+    if setup_cfg.is_file():
+        parser.read(setup_cfg, encoding="utf-8")
+    if parser.has_section("repro:lint"):
+        section = parser["repro:lint"]
+        if "paths" in section:
+            config["paths"] = section["paths"].split()
+        if "baseline" in section:
+            config["baseline"] = section["baseline"]
+        if "tcb_report" in section:
+            config["tcb_report"] = section["tcb_report"]
+    return config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="TCB audit, determinism lints and secret-hygiene checks",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: from setup.cfg)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: nearest setup.cfg)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as canonical JSON")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to cover current findings")
+    parser.add_argument("--update-tcb-report", action="store_true",
+                        help=f"regenerate {TCB_REPORT_NAME} from the source tree")
+    parser.add_argument("--explain", metavar="RULE-ID", default=None,
+                        help="print a rule's rationale and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.explain:
+        rule = get_rule(args.explain)
+        if rule is None:
+            known = ", ".join(r.id for r in all_rules())
+            print(f"unknown rule {args.explain!r} (known: {known})",
+                  file=sys.stderr)
+            return 2
+        print(rule.explain())
+        return 0
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.title}")
+        return 0
+
+    root = find_repo_root(args.root)
+    config = read_config(root)
+    paths = args.paths or config["paths"]
+    baseline_path = args.baseline or (root / config["baseline"])
+
+    project = load_project(root, paths)
+
+    if args.update_tcb_report:
+        report_path = root / config["tcb_report"]
+        report_path.write_text(generate_tcb_report(project), encoding="utf-8")
+        print(f"wrote {report_path.relative_to(root)}")
+        return 0
+
+    findings = run_rules(project, all_rules())
+
+    if args.update_baseline:
+        Path(baseline_path).write_text(render_baseline(findings),
+                                       encoding="utf-8")
+        print(f"wrote {Path(baseline_path).name} ({len(findings)} findings)")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, grandfathered = split_baselined(findings, baseline)
+
+    if args.as_json:
+        doc = {
+            "format": FINDINGS_FORMAT,
+            "version": FINDINGS_VERSION,
+            "findings": [f.to_json() for f in new],
+            "baselined": len(grandfathered),
+        }
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    else:
+        for finding in new:
+            print(f"{finding.path}:{finding.line}: {finding.rule} "
+                  f"[{finding.severity}] {finding.message}")
+        summary = (f"{len(new)} finding(s), {len(grandfathered)} baselined, "
+                   f"{len(project.files)} file(s) checked")
+        print(summary if not new else f"FAILED: {summary}",
+              file=sys.stderr if new else sys.stdout)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

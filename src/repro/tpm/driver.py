@@ -1,0 +1,125 @@
+"""Session/HMAC plumbing over the raw TPM command set.
+
+Both sides of the trust boundary need the same OIAP bookkeeping — odd
+nonces, command digests, auth proofs — to issue authorized commands:
+
+* the **untrusted OS** driver (TrouSerS' role; see
+  :class:`repro.osim.tpm_driver.OSTPMDriver`), and
+* the **PAL-side** TPM utilities module, which is part of every
+  TPM-using PAL's TCB (:mod:`repro.core.modules.tpm_utils`).
+
+This module holds the shared plumbing so the PAL's TCB never imports
+:mod:`repro.osim` (untrusted-OS simulation code): the static TCB audit
+(:mod:`repro.analysis.tcb`) enforces that boundary.  Quote — which needs
+the AIK and only ever runs OS-side — lives on the OS subclass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.crypto.sha1 import sha1
+from repro.tpm.structures import PCRComposite, SealedBlob
+from repro.tpm.tpm import TPMInterface, command_digest
+
+
+class TPMSessionDriver:
+    """Convenience layer over the TPM's authorized command set.
+
+    Handles OIAP session setup, odd-nonce generation, and proof
+    computation so that callers — the tqd, the flicker-module, and PALs'
+    TPM-utilities module alike — can issue one-line Seal/Unseal calls.
+    This mirrors the split in the paper between the tiny "TPM Driver"
+    and the richer "TPM Utilities" (Figure 6).
+    """
+
+    def __init__(self, interface: TPMInterface, nonce_seed: bytes = b"os-driver") -> None:
+        self._tpm = interface
+        self._nonce_counter = 0
+        self._nonce_seed = nonce_seed
+
+    @property
+    def interface(self) -> TPMInterface:
+        """The underlying locality-bound TPM interface."""
+        return self._tpm
+
+    def _nonce_odd(self) -> bytes:
+        self._nonce_counter += 1
+        return sha1(self._nonce_seed + self._nonce_counter.to_bytes(8, "big"))
+
+    # -- authorized commands ----------------------------------------------------
+
+    def seal(self, data: bytes, pcr_policy: Dict[int, bytes]) -> SealedBlob:
+        """TPM_Seal with SRK auth handled internally."""
+        session = self._tpm.start_oiap()
+        nonce_odd = self._nonce_odd()
+        policy_blob = PCRComposite.from_mapping(pcr_policy).encode() if pcr_policy else b""
+        digest = command_digest("TPM_Seal", data, policy_blob)
+        proof = session.compute_proof(self._tpm.srk_auth, digest, nonce_odd)
+        return self._tpm.seal(data, pcr_policy, session, nonce_odd, proof)
+
+    def unseal(self, blob: SealedBlob) -> bytes:
+        """TPM_Unseal with SRK auth handled internally.  PCR policy is
+        still enforced by the TPM — auth alone releases nothing."""
+        session = self._tpm.start_oiap()
+        nonce_odd = self._nonce_odd()
+        digest = command_digest("TPM_Unseal", blob.ciphertext)
+        proof = session.compute_proof(self._tpm.srk_auth, digest, nonce_odd)
+        return self._tpm.unseal(blob, session, nonce_odd, proof)
+
+    def define_nv_space(
+        self,
+        index: int,
+        size: int,
+        owner_auth: bytes,
+        read_pcr_policy: Optional[Dict[int, bytes]] = None,
+        write_pcr_policy: Optional[Dict[int, bytes]] = None,
+    ):
+        """TPM_NV_DefineSpace using the given owner authorization."""
+        session = self._tpm.start_oiap()
+        nonce_odd = self._nonce_odd()
+        digest = command_digest(
+            "TPM_NV_DefineSpace", index.to_bytes(4, "big"), size.to_bytes(4, "big")
+        )
+        proof = session.compute_proof(owner_auth, digest, nonce_odd)
+        return self._tpm.nv_define_space(
+            index, size, read_pcr_policy, write_pcr_policy, session, nonce_odd, proof
+        )
+
+    def create_counter(self, label: bytes, owner_auth: bytes) -> int:
+        """Create a monotonic counter using owner authorization."""
+        session = self._tpm.start_oiap()
+        nonce_odd = self._nonce_odd()
+        digest = command_digest("TPM_CreateCounter", label)
+        proof = session.compute_proof(owner_auth, digest, nonce_odd)
+        return self._tpm.create_counter(label, session, nonce_odd, proof)
+
+    # -- unauthorized commands ------------------------------------------------------
+
+    def pcr_read(self, index: int) -> bytes:
+        """TPM_PCRRead."""
+        return self._tpm.pcr_read(index)
+
+    def pcr_extend(self, index: int, measurement: bytes) -> bytes:
+        """TPM_Extend."""
+        return self._tpm.pcr_extend(index, measurement)
+
+    def get_random(self, num_bytes: int) -> bytes:
+        """TPM_GetRandom."""
+        return self._tpm.get_random(num_bytes)
+
+    def nv_read(self, index: int) -> bytes:
+        """TPM_NV_ReadValue."""
+        return self._tpm.nv_read(index)
+
+    def nv_write(self, index: int, data: bytes) -> None:
+        """TPM_NV_WriteValue."""
+        self._tpm.nv_write(index, data)
+
+    def increment_counter(self, counter_id: int) -> int:
+        """TPM_IncrementCounter."""
+        return self._tpm.increment_counter(counter_id)
+
+    def read_counter(self, counter_id: int) -> int:
+        """TPM_ReadCounter."""
+        return self._tpm.read_counter(counter_id)

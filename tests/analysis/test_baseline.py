@@ -1,0 +1,121 @@
+"""Baseline and suppression semantics: round-trips and precedence."""
+
+import textwrap
+
+from repro.analysis import (
+    analyze_source,
+    load_baseline,
+    render_baseline,
+    split_baselined,
+)
+from repro.analysis.engine import Finding, parse_source
+
+WALL_CLOCK_SNIPPET = textwrap.dedent("""
+    import time
+
+    def stamp(report):
+        report["at"] = time.time()
+""")
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_line(self):
+        findings = analyze_source(
+            "import time\n"
+            "def stamp(report):\n"
+            "    report['at'] = time.time()  # repro: noqa[DET001]\n"
+            "    report['t2'] = time.time()\n",
+            module="repro.sim.example",
+        )
+        assert [(f.rule, f.line) for f in findings] == [("DET001", 4)]
+
+    def test_file_suppression_silences_whole_file(self):
+        findings = analyze_source(
+            "# repro: noqa[DET001]\n"
+            "import time\n"
+            "def stamp(report):\n"
+            "    report['at'] = time.time()\n",
+            module="repro.sim.example",
+        )
+        assert findings == []
+
+    def test_bare_noqa_suppresses_all_rules(self):
+        findings = analyze_source(
+            "import time, os\n"
+            "def stamp(report):\n"
+            "    report['at'] = time.time()  # repro: noqa\n"
+            "    report['nonce'] = os.urandom(8)  # repro: noqa\n",
+            module="repro.sim.example",
+        )
+        assert findings == []
+
+    def test_suppression_is_rule_specific(self):
+        findings = analyze_source(
+            "import os\n"
+            "def nonce(report):\n"
+            "    report['n'] = os.urandom(8)  # repro: noqa[DET001]\n",
+            module="repro.sim.example",
+        )
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_parse_suppressions_table(self):
+        source = parse_source(
+            "# repro: noqa[SEC001]\n"
+            "x = 1  # repro: noqa[DET001, DET002]\n",
+            "example.py", "repro.example",
+        )
+        assert source.file_suppressions == frozenset({"SEC001"})
+        assert source.line_suppressions[2] == frozenset({"DET001", "DET002"})
+        assert source.suppressed("SEC001", 99)
+        assert source.suppressed("DET002", 2)
+        assert not source.suppressed("DET001", 1)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = analyze_source(WALL_CLOCK_SNIPPET, module="repro.sim.example")
+        assert len(findings) == 1
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline(findings), encoding="utf-8")
+        baseline = load_baseline(path)
+        new, old = split_baselined(findings, baseline)
+        assert new == []
+        assert old == findings
+
+    def test_render_is_byte_stable(self):
+        findings = analyze_source(WALL_CLOCK_SNIPPET, module="repro.sim.example")
+        assert render_baseline(findings) == render_baseline(list(reversed(findings)))
+
+    def test_baseline_ignores_line_drift(self, tmp_path):
+        findings = analyze_source(WALL_CLOCK_SNIPPET, module="repro.sim.example")
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline(findings), encoding="utf-8")
+        drifted = analyze_source("\n\n\n" + WALL_CLOCK_SNIPPET,
+                                 module="repro.sim.example")
+        assert drifted[0].line != findings[0].line
+        new, old = split_baselined(drifted, load_baseline(path))
+        assert new == [] and len(old) == 1
+
+    def test_count_budget_is_enforced(self, tmp_path):
+        one = analyze_source(WALL_CLOCK_SNIPPET, module="repro.sim.example")
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline(one), encoding="utf-8")
+        two = analyze_source(
+            "import time\n"
+            "def stamp(report):\n"
+            "    report['a'] = time.time()\n"
+            "    report['b'] = time.time()\n",
+            module="repro.sim.example",
+        )
+        assert len(two) == 2
+        new, old = split_baselined(two, load_baseline(path))
+        assert len(new) == 1 and len(old) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_finding_key_excludes_line(self):
+        a = Finding("DET001", "x.py", 3, "msg")
+        b = Finding("DET001", "x.py", 30, "msg")
+        assert a.key() == b.key()
+        assert a.sort_key() != b.sort_key()

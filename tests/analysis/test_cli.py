@@ -1,0 +1,134 @@
+"""CLI behaviour of ``python -m repro.tools.lint``: exit codes, --json,
+--explain, baseline and TCB-report round-trips on a synthetic tree."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rules
+from repro.tools.lint import main
+
+CLEAN_MODULE = "def now(clock):\n    return clock.now()\n"
+DIRTY_MODULE = (
+    "import time\n"
+    "def stamp(report):\n"
+    "    report['at'] = time.time()\n"
+)
+
+
+def make_repo(tmp_path, files):
+    (tmp_path / "setup.cfg").write_text(
+        "[repro:lint]\npaths = src/repro\n", encoding="utf-8")
+    for relpath, text in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return tmp_path
+
+
+@pytest.fixture
+def clean_repo(tmp_path):
+    root = make_repo(tmp_path, {"src/repro/sim/example.py": CLEAN_MODULE})
+    assert main(["--root", str(root), "--update-tcb-report"]) == 0
+    return root
+
+
+@pytest.fixture
+def dirty_repo(tmp_path):
+    root = make_repo(tmp_path, {"src/repro/sim/example.py": DIRTY_MODULE})
+    assert main(["--root", str(root), "--update-tcb-report"]) == 0
+    return root
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_repo):
+        assert main(["--root", str(clean_repo)]) == 0
+
+    def test_findings_exit_one(self, dirty_repo):
+        assert main(["--root", str(dirty_repo)]) == 1
+
+    def test_missing_tcb_report_exits_one(self, tmp_path):
+        root = make_repo(tmp_path, {"src/repro/sim/example.py": CLEAN_MODULE})
+        assert main(["--root", str(root)]) == 1  # TCB002: report missing
+
+    def test_unknown_explain_exits_two(self, capsys):
+        assert main(["--explain", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_prints_rationale(self, capsys):
+        assert main(["--explain", "TCB001"]) == 0
+        out = capsys.readouterr().out
+        assert "TCB001" in out and "allowlisted" in out
+
+    def test_every_rule_has_an_explanation(self, capsys):
+        for rule in all_rules():
+            assert main(["--explain", rule.id]) == 0
+            out = capsys.readouterr().out
+            assert rule.id in out
+            assert len(out.strip().splitlines()) > 2, f"{rule.id} explanation too thin"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("TCB001", "TCB002", "DET001", "DET002", "DET003",
+                        "DET004", "SEC001"):
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def test_json_shape(self, dirty_repo, capsys):
+        assert main(["--root", str(dirty_repo), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-analysis-findings"
+        assert doc["baselined"] == 0
+        rules = [f["rule"] for f in doc["findings"]]
+        assert rules == ["DET001"]
+        assert doc["findings"][0]["path"] == "src/repro/sim/example.py"
+        assert doc["findings"][0]["line"] == 3
+
+    def test_json_clean(self, clean_repo, capsys):
+        assert main(["--root", str(clean_repo), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+
+class TestBaselineFlow:
+    def test_update_baseline_then_clean(self, dirty_repo, capsys):
+        assert main(["--root", str(dirty_repo), "--update-baseline"]) == 0
+        assert (dirty_repo / "ANALYSIS_baseline.json").exists()
+        assert main(["--root", str(dirty_repo)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_not_covered_by_baseline(self, dirty_repo):
+        assert main(["--root", str(dirty_repo), "--update-baseline"]) == 0
+        extra = dirty_repo / "src/repro/sim/fresh.py"
+        extra.write_text(DIRTY_MODULE, encoding="utf-8")
+        assert main(["--root", str(dirty_repo), "--update-tcb-report"]) == 0
+        assert main(["--root", str(dirty_repo)]) == 1
+
+    def test_explicit_baseline_path(self, dirty_repo, tmp_path):
+        baseline = tmp_path / "elsewhere.json"
+        assert main(["--root", str(dirty_repo), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert main(["--root", str(dirty_repo), "--baseline", str(baseline)]) == 0
+
+
+class TestTCBReportFlow:
+    def test_report_regeneration_is_byte_identical(self, clean_repo):
+        report = clean_repo / "ANALYSIS_tcb.json"
+        first = report.read_bytes()
+        assert main(["--root", str(clean_repo), "--update-tcb-report"]) == 0
+        assert report.read_bytes() == first
+
+    def test_tcb_growth_stales_report(self, clean_repo):
+        assert main(["--root", str(clean_repo)]) == 0
+        # A new module under a TCB root joins the audited closure, so the
+        # committed report no longer matches until regenerated.
+        extra = clean_repo / "src/repro/core/modules/extra.py"
+        extra.parent.mkdir(parents=True, exist_ok=True)
+        extra.write_text(CLEAN_MODULE, encoding="utf-8")
+        assert main(["--root", str(clean_repo)]) == 1  # TCB002 fires
+        assert main(["--root", str(clean_repo), "--update-tcb-report"]) == 0
+        assert main(["--root", str(clean_repo)]) == 0

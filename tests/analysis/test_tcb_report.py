@@ -1,0 +1,102 @@
+"""Regression: the committed TCB report is exact, and the repo lints
+clean.  Any PR that grows the PAL TCB must regenerate
+``ANALYSIS_tcb.json`` explicitly, making the growth visible in review —
+the repro analogue of the paper's Figure 6 accounting discipline.
+"""
+
+import json
+import pathlib
+
+from repro.analysis import generate_tcb_report, load_project
+from repro.analysis.tcb import (
+    TCB_FORBIDDEN_PREFIXES,
+    TCB_REPORT_NAME,
+    find_pals,
+    tcb_closure,
+)
+from repro.tools.lint import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def load_repo_project():
+    return load_project(REPO_ROOT, ["src/repro"])
+
+
+def committed_report():
+    return (REPO_ROOT / TCB_REPORT_NAME).read_text(encoding="utf-8")
+
+
+class TestCommittedReport:
+    def test_report_matches_source_byte_for_byte(self):
+        project = load_repo_project()
+        assert generate_tcb_report(project) == committed_report(), (
+            f"{TCB_REPORT_NAME} is stale — the PAL TCB changed; regenerate "
+            "with: python -m repro.tools.lint --update-tcb-report"
+        )
+
+    def test_generation_is_deterministic(self):
+        project = load_repo_project()
+        assert generate_tcb_report(project) == generate_tcb_report(project)
+
+    def test_closure_contains_no_forbidden_modules(self):
+        doc = json.loads(committed_report())
+        for module in doc["closure"]:
+            assert not any(
+                module == p or module.startswith(p + ".")
+                for p in TCB_FORBIDDEN_PREFIXES
+            ), f"forbidden module {module} inside the committed TCB closure"
+
+    def test_every_pal_is_listed_with_modules_and_loc(self):
+        doc = json.loads(committed_report())
+        pals = doc["pals"]
+        for expected in (
+            "repro.apps.ca.CertificateAuthorityPAL",
+            "repro.apps.ssh_auth.SSHPasswordPAL",
+            "repro.apps.rootkit_detector.RootkitDetectorPAL",
+            "repro.apps.distributed.DistributedPAL",
+        ):
+            assert expected in pals, f"{expected} missing from the TCB report"
+        for name, entry in pals.items():
+            assert entry["linked_modules"][0:1] == ["slb_core"], name
+            assert entry["pal_loc"] > 0, name
+            assert entry["tcb_modules"], name
+            assert entry["figure6_total_loc"] >= 94, name  # at least the SLB Core
+
+    def test_figure6_numbers_come_from_the_registry(self):
+        from repro.core.modules import MODULE_REGISTRY
+
+        doc = json.loads(committed_report())
+        ca = doc["pals"]["repro.apps.ca.CertificateAuthorityPAL"]
+        for module, loc in ca["figure6_loc"].items():
+            assert loc == MODULE_REGISTRY[module].lines_of_code
+
+    def test_report_pal_set_matches_static_scan(self):
+        project = load_repo_project()
+        scanned = {f"{p['module']}.{p['class']}" for p in find_pals(project)}
+        assert scanned == set(json.loads(committed_report())["pals"])
+
+
+class TestRepoLintsClean:
+    def test_lint_exits_zero_on_the_repo(self):
+        assert main(["--root", str(REPO_ROOT)]) == 0, (
+            "python -m repro.tools.lint found non-baselined findings; "
+            "run it locally for details"
+        )
+
+    def test_committed_baseline_is_minimal(self):
+        doc = json.loads(
+            (REPO_ROOT / "ANALYSIS_baseline.json").read_text(encoding="utf-8"))
+        assert doc["findings"] == [], (
+            "the committed baseline grew — fix findings instead of "
+            "grandfathering them"
+        )
+
+    def test_tpm_utils_has_no_osim_dependency(self):
+        # The concrete TCB fix this audit forced: the PAL-side TPM
+        # utilities share session plumbing via repro.tpm.driver, never
+        # via the untrusted OS driver.
+        project = load_repo_project()
+        closure, _ = tcb_closure(project)
+        assert "repro.tpm.driver" in closure
+        assert not any(m.startswith("repro.osim") for m in closure)
