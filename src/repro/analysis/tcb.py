@@ -62,6 +62,7 @@ TCB_FORBIDDEN_PREFIXES = (
     "repro.apps",
     "repro.bench",
     "repro.faults",
+    "repro.fuzz",
     "repro.obs",
     "repro.osim",
     "repro.tools",

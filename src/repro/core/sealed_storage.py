@@ -195,10 +195,12 @@ class ReplayProtectedStorage:
         )
         j = self._backend.read()
         if j_prime != j:
-            # The embedded version came out of the sealed payload; keep it
-            # out of the exception text — error messages cross back into
-            # the untrusted OS (secret-hygiene lint SEC001).
+            # Neither the embedded version nor the live counter may appear
+            # in the exception text — error messages cross back into the
+            # untrusted OS, and the live counter value lets an attacker
+            # fast-forward a stale blob (fuzzer finding, corpus entry
+            # seal-replay-message-leak.json).
             raise SealedStorageError(
-                f"replay detected: blob version does not match counter at {j}"
+                "replay detected: blob version does not match the counter"
             )
         return data

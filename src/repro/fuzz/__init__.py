@@ -1,0 +1,44 @@
+"""Coverage-guided adversarial fuzzer over the Flicker security surface.
+
+The paper's central claim is that the security-critical surface is small
+enough to reason about exhaustively — so this package hammers exactly
+that surface.  Four mutation targets cover the trust boundary:
+
+* ``tpm``    — raw TPM command streams against :mod:`repro.tpm.tpm`
+* ``skinit`` — SKINIT precondition/platform state (:mod:`repro.hw.skinit`)
+* ``seal``   — sealed-blob bytes and replay schedules
+  (:mod:`repro.core.sealed_storage`)
+* ``faults`` — fault-plan schedules over the eight injection points
+
+Executions are guided by edge coverage harvested from the TCB modules
+pinned in ``ANALYSIS_tcb.json`` and checked against the repo's standing
+oracles: secrets never leak, unseal fails after tamper, attestation
+rejects forgeries, and no unhandled exception escapes the PAL boundary.
+Campaigns are seeded and deterministic — the same seed yields a
+byte-identical report at any worker count — and every counterexample is
+auto-minimized into ``tests/fuzz/corpus/``.
+"""
+
+from repro.fuzz.case import TARGETS, FuzzCase
+from repro.fuzz.corpus import CorpusEntry, load_corpus
+from repro.fuzz.coverage import CoverageMap, EdgeCollector, tcb_module_names
+from repro.fuzz.engine import FuzzCampaign
+from repro.fuzz.minimize import minimize_case
+from repro.fuzz.mutators import mutate, seed_corpus
+from repro.fuzz.targets import TargetResult, run_case
+
+__all__ = [
+    "TARGETS",
+    "FuzzCase",
+    "CorpusEntry",
+    "load_corpus",
+    "CoverageMap",
+    "EdgeCollector",
+    "tcb_module_names",
+    "FuzzCampaign",
+    "minimize_case",
+    "mutate",
+    "seed_corpus",
+    "TargetResult",
+    "run_case",
+]

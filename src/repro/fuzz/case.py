@@ -1,0 +1,92 @@
+"""Fuzz-case representation: a target name plus a structured payload.
+
+A :class:`FuzzCase` is the unit the fuzzer mutates, executes, minimizes,
+and commits to the corpus.  Payloads are plain JSON-able dicts (bytes
+encoded as lowercase hex) so cases round-trip through the corpus files
+and the parallel executor without custom pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.crypto.sha1 import sha1
+
+#: The four fuzzed surfaces, in canonical order.
+TARGETS = ("tpm", "skinit", "seal", "faults")
+
+
+class FuzzCaseError(ValueError):
+    """Raised for structurally invalid cases (bad target, bad payload)."""
+
+
+def _canonical(obj: Any) -> Any:
+    """Recursively canonicalize payload values for hashing/serialization."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, bytes):
+        return {"hex": obj.hex()}
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, str):
+        return obj
+    raise FuzzCaseError(f"unsupported payload value: {type(obj).__name__}")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzz input: ``target`` names the executor, ``payload`` its data.
+
+    Instances are canonical on construction — the payload is normalized
+    (keys sorted, bytes hex-wrapped) so equal cases serialize and digest
+    identically no matter how they were built.
+    """
+
+    target: str
+    payload: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise FuzzCaseError(f"unknown fuzz target: {self.target!r}")
+        object.__setattr__(self, "payload", _canonical(self.payload))
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {"target": self.target, "payload": self.payload}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        """Inverse of :meth:`to_dict`."""
+        if not isinstance(data, dict) or "target" not in data:
+            raise FuzzCaseError("fuzz case must be a dict with a 'target' key")
+        return cls(target=data["target"], payload=dict(data.get("payload") or {}))
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding (sorted keys, 2-space indent)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-1 of the canonical JSON — the case's identity."""
+        return sha1(self.to_json().encode("utf-8")).hex()
+
+
+def get_bytes(payload: Dict[str, Any], key: str, default: bytes = b"") -> bytes:
+    """Read a hex-wrapped bytes field back out of a canonical payload."""
+    value = payload.get(key, {"hex": default.hex()})
+    if isinstance(value, dict) and "hex" in value:
+        try:
+            return bytes.fromhex(str(value["hex"]))
+        except ValueError:
+            return default
+    return default

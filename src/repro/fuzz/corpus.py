@@ -1,0 +1,109 @@
+"""The replayable counterexample corpus (``tests/fuzz/corpus/``).
+
+Every counterexample the fuzzer ever finds is minimized and committed
+here as one JSON file.  Each entry records the oracle that fired and a
+verdict:
+
+``open``
+    The underlying defect is not fixed yet — replaying the case must
+    still produce the recorded oracle violation (the bug is pinned).
+``fixed``
+    The defect was fixed — replaying must now yield a clean (``ok`` or
+    typed-``rejected``) run.  A fixed entry regressing back to its
+    oracle is the strongest possible signal the fix was undone.
+
+The corpus is the fuzzer's non-regression contract: findings get fixed
+or pinned, never ignored, and either way they stay executable forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.fuzz.case import FuzzCase, FuzzCaseError
+from repro.fuzz.targets import TargetResult, run_case
+
+FORMAT = "repro-fuzz-case/1"
+
+VERDICTS = ("open", "fixed")
+
+
+class CorpusError(ValueError):
+    """Raised for malformed corpus files."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One committed counterexample."""
+
+    name: str
+    case: FuzzCase
+    oracle: str
+    verdict: str  # "open" | "fixed"
+    notes: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "name": self.name,
+            "case": self.case.to_dict(),
+            "oracle": self.oracle,
+            "verdict": self.verdict,
+            "notes": self.notes,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        if not isinstance(data, dict) or data.get("format") != FORMAT:
+            raise CorpusError(f"not a {FORMAT} file")
+        if data.get("verdict") not in VERDICTS:
+            raise CorpusError(f"verdict must be one of {VERDICTS}")
+        try:
+            case = FuzzCase.from_dict(data["case"])
+        except (KeyError, FuzzCaseError) as exc:
+            raise CorpusError(f"bad case: {exc}") from exc
+        return cls(
+            name=str(data.get("name", "")),
+            case=case,
+            oracle=str(data.get("oracle", "")),
+            verdict=data["verdict"],
+            notes=str(data.get("notes", "")),
+        )
+
+    def replay(self) -> Tuple[bool, TargetResult]:
+        """Re-execute; returns (verdict still holds?, live result).
+
+        * ``open``  holds when the recorded oracle still fires.
+        * ``fixed`` holds when the run is now clean (no counterexample).
+        """
+        result = run_case(self.case)
+        if self.verdict == "open":
+            return (
+                result.status == "counterexample" and result.oracle == self.oracle,
+                result,
+            )
+        return result.status != "counterexample", result
+
+
+def load_corpus(directory: Path) -> List[CorpusEntry]:
+    """Load every ``*.json`` entry, sorted by filename for determinism."""
+    entries = []
+    for path in sorted(Path(directory).glob("*.json")):
+        entries.append(CorpusEntry.from_dict(json.loads(path.read_text())))
+    return entries
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus location, found relative to the repo root."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "tests" / "fuzz" / "corpus"
+        if candidate.is_dir():
+            return candidate
+    return Path("tests/fuzz/corpus")

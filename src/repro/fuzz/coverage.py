@@ -1,0 +1,247 @@
+"""Edge-coverage harvesting restricted to the pinned TCB modules.
+
+The fuzzer's guidance signal is AFL-style edge coverage: each observed
+transition ``(module, previous_line, line)`` is one edge.  Collection is
+restricted to the TCB closure pinned in ``ANALYSIS_tcb.json`` — coverage
+of untrusted-OS simulation code would only dilute the signal, since the
+point of the campaign is to exercise the *trusted* surface.
+
+Two interchangeable backends:
+
+* ``monitoring`` — :mod:`sys.monitoring` (PEP 669, Python 3.12+).  Code
+  objects outside the TCB return ``DISABLE`` so the interpreter stops
+  delivering their events entirely; ``restart_events()`` re-arms them for
+  the next collection window.
+* ``settrace`` — classic :func:`sys.settrace` for older interpreters.
+  The prior tracer is saved and restored so the collector composes with
+  debuggers and ``coverage.py`` itself.
+
+Edges are plain tuples in a set; :class:`CoverageMap` canonicalizes them
+(sorted) before digesting, so merged maps digest identically regardless
+of observation order.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.crypto.sha1 import sha1
+
+#: An observed control-flow edge: (module name, previous line, line).
+Edge = Tuple[str, int, int]
+
+#: Pseudo-line marking function entry (the edge source for the first line).
+ENTRY_LINE = 0
+
+_TCB_REPORT = "ANALYSIS_tcb.json"
+
+
+def tcb_module_names(report_path: Optional[str] = None) -> Tuple[str, ...]:
+    """The pinned TCB module closure, sorted.
+
+    Reads the committed ``ANALYSIS_tcb.json`` (searching upward from this
+    file for the repo root, unless an explicit path is given).  Falls back
+    to scanning :data:`repro.analysis.tcb.TCB_ALLOWED_PREFIXES` when no
+    report is present — e.g. in a stripped installation.
+    """
+    candidates: List[Path] = []
+    if report_path is not None:
+        candidates.append(Path(report_path))
+    else:
+        here = Path(__file__).resolve()
+        candidates.extend(parent / _TCB_REPORT for parent in here.parents)
+    for candidate in candidates:
+        if candidate.is_file():
+            report = json.loads(candidate.read_text())
+            return tuple(sorted(report["closure"]))
+    import pkgutil
+
+    import repro
+    from repro.analysis.tcb import TCB_ALLOWED_PREFIXES
+
+    names = set()
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(info.name == p or info.name.startswith(p + ".")
+               for p in TCB_ALLOWED_PREFIXES):
+            names.add(info.name)
+    return tuple(sorted(names))
+
+
+def _file_map(module_names: Iterable[str]) -> Dict[str, str]:
+    """Map source filenames to TCB module names, importing as needed."""
+    mapping: Dict[str, str] = {}
+    for name in module_names:
+        module = sys.modules.get(name)
+        if module is None:
+            try:
+                module = importlib.import_module(name)
+            except ImportError:  # pragma: no cover - stripped installs
+                continue
+        filename = getattr(module, "__file__", None)
+        if filename:
+            mapping[filename] = name
+    return mapping
+
+
+class CoverageMap:
+    """A monotonically growing set of observed edges.
+
+    ``observe`` reports how many of the offered edges were *new*, which is
+    the fuzzer's "interesting input" signal; the map itself never shrinks,
+    so the campaign's edge count is monotonically non-decreasing by
+    construction.
+    """
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None) -> None:
+        self._edges: Set[Edge] = set(edges or ())
+
+    @property
+    def edge_count(self) -> int:
+        """Number of distinct edges observed so far."""
+        return len(self._edges)
+
+    def observe(self, edges: Iterable[Edge]) -> int:
+        """Fold in ``edges``; returns how many were previously unseen."""
+        new = 0
+        for edge in edges:
+            if edge not in self._edges:
+                self._edges.add(edge)
+                new += 1
+        return new
+
+    def merge(self, other: "CoverageMap") -> int:
+        """Fold another map in; returns the number of new edges."""
+        return self.observe(other._edges)
+
+    def sorted_edges(self) -> List[Edge]:
+        """Edges in canonical (sorted) order."""
+        return sorted(self._edges)
+
+    def digest(self) -> str:
+        """SHA-1 over the canonical edge list — order-independent."""
+        lines = "".join(
+            f"{module}:{prev}:{line}\n" for module, prev, line in self.sorted_edges()
+        )
+        return sha1(lines.encode("ascii")).hex()
+
+    def modules_covered(self) -> List[str]:
+        """Sorted list of TCB modules with at least one observed edge."""
+        return sorted({module for module, _, _ in self._edges})
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (summary only — edges stay local)."""
+        return {
+            "edges": self.edge_count,
+            "digest": self.digest(),
+            "modules": self.modules_covered(),
+        }
+
+
+class EdgeCollector:
+    """Harvests TCB edges around a callable, via the best available backend.
+
+    Usage::
+
+        collector = EdgeCollector()
+        edges = collector.collect(lambda: run_case(case))
+    """
+
+    def __init__(
+        self,
+        module_names: Optional[Iterable[str]] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        names = tuple(module_names) if module_names is not None else tcb_module_names()
+        self._files = _file_map(names)
+        if backend is None:
+            backend = "monitoring" if hasattr(sys, "monitoring") else "settrace"
+        if backend not in ("monitoring", "settrace"):
+            raise ValueError(f"unknown coverage backend: {backend!r}")
+        self.backend = backend
+
+    # -- settrace backend ---------------------------------------------------------
+
+    def _collect_settrace(self, fn):
+        edges: Set[Edge] = set()
+        files = self._files
+
+        def global_trace(frame, event, arg):
+            if event != "call":
+                return None
+            module = files.get(frame.f_code.co_filename)
+            if module is None:
+                return None
+            prev = [ENTRY_LINE]
+
+            def local_trace(frame, event, arg):
+                if event == "line":
+                    line = frame.f_lineno
+                    edges.add((module, prev[0], line))
+                    prev[0] = line
+                return local_trace
+
+            return local_trace
+
+        prior = sys.gettrace()
+        sys.settrace(global_trace)
+        try:
+            result = fn()
+        finally:
+            sys.settrace(prior)
+        return result, edges
+
+    # -- sys.monitoring backend ---------------------------------------------------
+
+    def _collect_monitoring(self, fn):  # pragma: no cover - needs Python 3.12+
+        mon = sys.monitoring
+        edges: Set[Edge] = set()
+        files = self._files
+        last_line: Dict[str, int] = {}
+
+        def on_start(code, _offset):
+            module = files.get(code.co_filename)
+            if module is None:
+                return mon.DISABLE
+            last_line[module] = ENTRY_LINE
+            return None
+
+        def on_line(code, line):
+            module = files.get(code.co_filename)
+            if module is None:
+                return mon.DISABLE
+            edges.add((module, last_line.get(module, ENTRY_LINE), line))
+            last_line[module] = line
+            return None
+
+        tool_id = None
+        for candidate in range(6):
+            if mon.get_tool(candidate) is None:
+                tool_id = candidate
+                break
+        if tool_id is None:
+            # Every slot taken (e.g. under a profiler + debugger + coverage
+            # stack): fall back rather than fight over a tool id.
+            return self._collect_settrace(fn)
+        mon.use_tool_id(tool_id, "repro-fuzz")
+        try:
+            mon.register_callback(tool_id, mon.events.PY_START, on_start)
+            mon.register_callback(tool_id, mon.events.LINE, on_line)
+            mon.set_events(tool_id, mon.events.PY_START | mon.events.LINE)
+            mon.restart_events()
+            result = fn()
+        finally:
+            mon.set_events(tool_id, 0)
+            mon.register_callback(tool_id, mon.events.PY_START, None)
+            mon.register_callback(tool_id, mon.events.LINE, None)
+            mon.free_tool_id(tool_id)
+        return result, edges
+
+    def collect(self, fn):
+        """Run ``fn()`` under tracing; returns ``(result, edges)``."""
+        if self.backend == "monitoring":
+            return self._collect_monitoring(fn)
+        return self._collect_settrace(fn)

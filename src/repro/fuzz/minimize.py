@@ -1,0 +1,88 @@
+"""Deterministic counterexample minimization.
+
+Greedy structural shrinking in the ddmin spirit: repeatedly try the
+smallest edit that keeps the case failing with the *same oracle* —
+dropping list elements, truncating byte fields, pulling integers toward
+zero — until a full pass produces no progress or the evaluation budget
+runs out.  Everything is ordered (fields sorted, candidates tried in a
+fixed sequence), so minimization of a given counterexample is a pure
+function of the case.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.targets import TargetResult, run_case
+
+#: Hard cap on candidate executions per minimization.
+MAX_EVALS = 200
+
+
+def _variants(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Candidate simplifications of ``payload``, smallest-edit first."""
+    out: List[Dict[str, Any]] = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, list) and value:
+            for i in range(len(value)):
+                slimmer = dict(payload)
+                slimmer[key] = value[:i] + value[i + 1:]
+                out.append(slimmer)
+            for i, item in enumerate(value):
+                if isinstance(item, dict):
+                    for sub in _variants(item):
+                        slimmer = dict(payload)
+                        slimmer[key] = value[:i] + [sub] + value[i + 1:]
+                        out.append(slimmer)
+        elif isinstance(value, dict) and "hex" in value:
+            raw = bytes.fromhex(value["hex"]) if value["hex"] else b""
+            for cut in (len(raw) // 2, len(raw) - 1):
+                if 0 <= cut < len(raw):
+                    slimmer = dict(payload)
+                    slimmer[key] = {"hex": raw[:cut].hex()}
+                    out.append(slimmer)
+        elif isinstance(value, int) and not isinstance(value, bool):
+            for smaller in (0, value // 2):
+                if smaller != value:
+                    slimmer = dict(payload)
+                    slimmer[key] = smaller
+                    out.append(slimmer)
+    return out
+
+
+def minimize_case(
+    case: FuzzCase, result: TargetResult, max_evals: int = MAX_EVALS
+) -> Tuple[FuzzCase, TargetResult]:
+    """Shrink ``case`` while it still fails with ``result``'s oracle.
+
+    Returns the smallest case found and its (re-verified) result.  Safe
+    to call on any counterexample: a case that stops reproducing under
+    every candidate edit is returned unchanged.
+    """
+    if result.status != "counterexample":
+        return case, result
+    best, best_result = case, result
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidate_payload in _variants(best.payload):
+            if evals >= max_evals:
+                break
+            evals += 1
+            try:
+                candidate = FuzzCase(best.target, candidate_payload)
+                verdict = run_case(candidate)
+            except Exception:  # noqa: BLE001 - malformed candidate: skip
+                continue
+            if (
+                verdict.status == "counterexample"
+                and verdict.oracle == best_result.oracle
+                and len(candidate.to_json()) < len(best.to_json())
+            ):
+                best, best_result = candidate, verdict
+                progress = True
+                break
+    return best, best_result

@@ -1,0 +1,206 @@
+"""Seed corpora and mutation operators for the four fuzz targets.
+
+Mutation is structure-aware: instead of flipping bits in an opaque
+buffer, operators edit the JSON-shaped payload — duplicate a TPM
+command, nudge an integer toward an interesting boundary value, flip a
+byte of a hex field, drop a fault spec.  All randomness flows from the
+caller's :class:`~repro.sim.rng.DeterministicRNG`, so a mutation chain
+is a pure function of the campaign seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.fuzz.case import FuzzCase, get_bytes
+from repro.sim.rng import DeterministicRNG
+
+#: Boundary values that historically break parsers and index arithmetic.
+INTERESTING_INTS = (
+    -(2 ** 31), -65536, -4096, -256, -20, -5, -1, 0, 1, 4, 5, 16, 17, 20,
+    23, 24, 255, 256, 4095, 4096, 4097, 65535, 65536, 2 ** 31 - 1, 2 ** 32,
+)
+
+#: Size caps keeping cases replayable in milliseconds.
+MAX_BYTES = 256
+MAX_COMMANDS = 12
+MAX_SPECS = 5
+MAX_LIST = 8
+
+_TPM_OPS = (
+    "pcr_read", "pcr_extend", "extend_hw", "get_random", "get_capability",
+    "seal", "unseal", "quote", "nv_define", "nv_write", "nv_read",
+    "counter_create", "counter_increment", "counter_read",
+    "dynamic_reset", "reboot",
+)
+
+_FAULT_KINDS = (
+    "slb-bit-flip", "tpm-transient", "tpm-permanent", "nv-corrupt",
+    "dma-probe", "debug-probe", "clock-skew", "pal-exception", "bogus-kind",
+)
+
+_FAULT_OPS = ("", "seal", "unseal", "get_random", "pcr_extend", "quote",
+              "nv_write", "nv_read", "bogus-op")
+
+
+def seed_corpus(target: str) -> List[FuzzCase]:
+    """Handcrafted starting points covering each target's happy paths and
+    the known-nasty corners the mutators should explore outward from."""
+    if target == "tpm":
+        return [
+            FuzzCase("tpm", {"commands": [
+                {"op": "pcr_read", "index": 17},
+                {"op": "seal", "bind": True},
+                {"op": "unseal", "which": 0, "tamper": -1},
+            ]}),
+            FuzzCase("tpm", {"commands": [
+                {"op": "seal", "bind": True},
+                {"op": "unseal", "which": 0, "tamper": 2, "xor": 1},
+            ]}),
+            FuzzCase("tpm", {"commands": [
+                {"op": "extend_hw", "index": 17, "data": b"\xab" * 20},
+                {"op": "pcr_read", "index": 17},
+                {"op": "quote", "nonce": b"n"},
+            ]}),
+            FuzzCase("tpm", {"commands": [
+                {"op": "get_random", "n": 20},
+                {"op": "nv_define", "index": 16, "size": 8},
+                {"op": "nv_write", "index": 16, "data": b"\x00" * 8},
+                {"op": "nv_read", "index": 16},
+            ]}),
+            FuzzCase("tpm", {"commands": [
+                {"op": "counter_create"},
+                {"op": "counter_increment", "id": 1},
+                {"op": "reboot"},
+                {"op": "counter_read", "id": 1},
+                {"op": "dynamic_reset"},
+            ]}),
+        ]
+    if target == "skinit":
+        return [
+            FuzzCase("skinit", {"base": 4096, "length": 64, "entry": 4,
+                                "body": b"\x90" * 60}),
+            FuzzCase("skinit", {"base": 4097, "length": 64, "entry": 4,
+                                "body": b"\x90" * 60}),
+            FuzzCase("skinit", {"base": 4096, "length": 64, "entry": 4,
+                                "body": b"\x90" * 60, "quiesce": False}),
+            FuzzCase("skinit", {"base": 4096, "length": 64, "entry": 4,
+                                "body": b"\x90" * 60, "tamper_bit": 77}),
+            FuzzCase("skinit", {"base": 4096, "length": 3, "entry": 0,
+                                "body": b""}),
+        ]
+    if target == "seal":
+        return [
+            FuzzCase("seal", {"bind": True, "tampers": [], "extends": []}),
+            FuzzCase("seal", {"bind": True,
+                              "tampers": [{"offset": 2, "xor": 1}]}),
+            FuzzCase("seal", {"bind": True,
+                              "tampers": [{"offset": 9, "xor": 5},
+                                          {"offset": 9, "xor": 5}]}),
+            FuzzCase("seal", {"bind": True,
+                              "extends": [{"data": b"\xcd" * 20}]}),
+            FuzzCase("seal", {"mode": "versioned", "reseals": 3, "present": 0}),
+            FuzzCase("seal", {"mode": "versioned", "reseals": 3, "present": 2}),
+        ]
+    if target == "faults":
+        return [
+            FuzzCase("faults", {"app": "rootkit", "seed": 1, "specs": [
+                {"kind": "tpm-transient", "op": "seal", "count": 1},
+            ]}),
+            FuzzCase("faults", {"app": "rootkit", "seed": 2, "specs": [
+                {"kind": "slb-bit-flip", "session": 0, "magnitude": 12345},
+            ]}),
+            FuzzCase("faults", {"app": "rootkit", "seed": 3, "specs": [
+                {"kind": "dma-probe", "session": 0},
+                {"kind": "debug-probe", "session": 0},
+            ]}),
+        ]
+    raise ValueError(f"unknown fuzz target: {target!r}")
+
+
+# -- mutation operators ---------------------------------------------------------
+
+
+def _choice(rng: DeterministicRNG, seq):
+    return seq[rng.randint(0, len(seq) - 1)]
+
+
+def _mutate_int(value: int, rng: DeterministicRNG) -> int:
+    roll = rng.randint(0, 3)
+    if roll == 0:
+        return _choice(rng, INTERESTING_INTS)
+    if roll == 1:
+        return value + rng.randint(-16, 16)
+    if roll == 2:
+        return value ^ (1 << rng.randint(0, 31))
+    return -value
+
+
+def _mutate_bytes(data: bytes, rng: DeterministicRNG) -> bytes:
+    buf = bytearray(data[:MAX_BYTES])
+    roll = rng.randint(0, 3)
+    if roll == 0 and buf:
+        buf[rng.randint(0, len(buf) - 1)] ^= 1 << rng.randint(0, 7)
+    elif roll == 1 and len(buf) < MAX_BYTES:
+        buf.insert(rng.randint(0, len(buf)), rng.randint(0, 255))
+    elif roll == 2 and buf:
+        del buf[rng.randint(0, len(buf) - 1)]
+    else:
+        buf = buf[: rng.randint(0, len(buf))]
+    return bytes(buf)
+
+
+def _mutate_value(value: Any, rng: DeterministicRNG) -> Any:
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return _mutate_int(value, rng)
+    if isinstance(value, dict) and "hex" in value:
+        raw = get_bytes({"k": value}, "k")
+        return _mutate_bytes(raw, rng)
+    if isinstance(value, str):
+        pools = {"op": _TPM_OPS, "kind": _FAULT_KINDS, "mode": ("raw", "versioned"),
+                 "app": ("ca", "ssh", "rootkit", "distributed", "bogus")}
+        for pool in pools.values():
+            if value in pool:
+                return _choice(rng, pool)
+        return value
+    return value
+
+
+def _mutate_list(items: List[Any], rng: DeterministicRNG, cap: int) -> List[Any]:
+    out = list(items)
+    roll = rng.randint(0, 3)
+    if roll == 0 and out:
+        out.pop(rng.randint(0, len(out) - 1))
+    elif roll == 1 and out and len(out) < cap:
+        out.insert(rng.randint(0, len(out)), out[rng.randint(0, len(out) - 1)])
+    elif roll == 2 and len(out) >= 2:
+        i = rng.randint(0, len(out) - 2)
+        out[i], out[i + 1] = out[i + 1], out[i]
+    elif out:
+        i = rng.randint(0, len(out) - 1)
+        out[i] = _mutate_payload(out[i], rng) if isinstance(out[i], dict) \
+            else _mutate_value(out[i], rng)
+    return out[:cap]
+
+
+def _mutate_payload(payload: Dict[str, Any], rng: DeterministicRNG) -> Dict[str, Any]:
+    out = dict(payload)
+    keys = sorted(out)
+    if not keys:
+        return out
+    key = _choice(rng, keys)
+    value = out[key]
+    if isinstance(value, list):
+        cap = {"commands": MAX_COMMANDS, "specs": MAX_SPECS}.get(key, MAX_LIST)
+        out[key] = _mutate_list(value, rng, cap)
+    else:
+        out[key] = _mutate_value(value, rng)
+    return out
+
+
+def mutate(case: FuzzCase, rng: DeterministicRNG) -> FuzzCase:
+    """One bounded mutation step; always returns a structurally valid case."""
+    payload = _mutate_payload(case.payload, rng)
+    return FuzzCase(target=case.target, payload=payload)

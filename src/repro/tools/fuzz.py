@@ -1,0 +1,197 @@
+"""Fuzzer driver: ``python -m repro.tools.fuzz``.
+
+Front-end over :mod:`repro.fuzz` — the coverage-guided adversarial
+fuzzer for the Flicker security surface.
+
+Usage::
+
+    python -m repro.tools.fuzz --smoke                # CI gate (<60s)
+    python -m repro.tools.fuzz --campaign --executions 5000 --workers 4
+    python -m repro.tools.fuzz --replay tests/fuzz/corpus/foo.json
+    python -m repro.tools.fuzz --minimize finding.json
+    python -m repro.tools.fuzz --campaign --json --out report.json
+
+``--smoke`` runs a small fixed-seed campaign plus a full corpus replay
+and exits 1 on any surviving counterexample or corpus regression —
+that's the CI contract.  ``--campaign`` writes the canonical report
+(byte-identical for a given seed at any ``--workers``).  ``--replay``
+re-executes one corpus entry and checks its recorded verdict;
+``--minimize`` shrinks a counterexample case file in place of your
+eyeballs.  Exit codes: 0 clean, 1 findings/regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.fuzz.case import TARGETS, FuzzCase
+from repro.fuzz.corpus import CorpusEntry, default_corpus_dir, load_corpus
+from repro.fuzz.engine import DEFAULT_SHARDS, FuzzCampaign, edge_monotonicity
+from repro.fuzz.minimize import minimize_case
+from repro.fuzz.targets import run_case
+
+SMOKE_SEED = 2008
+SMOKE_EXECUTIONS = 120
+
+
+def _print(args, payload: dict, text: str) -> None:
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(text)
+
+
+def _campaign(args) -> int:
+    campaign = FuzzCampaign(
+        seed=args.seed,
+        executions=args.executions,
+        targets=tuple(args.targets),
+        shards=args.shards,
+        workers=args.workers,
+    )
+    report = campaign.run()
+    rendered = FuzzCampaign.report_json(report)
+    if args.out:
+        Path(args.out).write_text(rendered)
+    if args.json:
+        sys.stdout.write(rendered)
+    else:
+        cov = report["coverage"]
+        execs = report["executions"]
+        print(f"fuzz campaign: seed={args.seed} executions={execs['total']} "
+              f"rejected={execs['rejected']}")
+        print(f"coverage: {cov['edges']} edges over {len(cov['modules'])} "
+              f"TCB modules (digest {cov['digest'][:12]})")
+        print(f"monotone coverage growth: {edge_monotonicity(report)}")
+        for finding in report["counterexamples"]:
+            print(f"COUNTEREXAMPLE [{finding['oracle']}] {finding['detail']}")
+        print(f"counterexamples: {report['summary']['counterexamples']}")
+    return 0 if report["summary"]["clean"] else 1
+
+
+def _replay_corpus(corpus_dir: Path, args) -> int:
+    failures = []
+    entries = load_corpus(corpus_dir)
+    for entry in entries:
+        holds, live = entry.replay()
+        if not holds:
+            failures.append((entry, live))
+    payload = {
+        "corpus": str(corpus_dir),
+        "entries": len(entries),
+        "regressions": [
+            {"name": entry.name, "verdict": entry.verdict,
+             "expected_oracle": entry.oracle, "live": live.to_dict()}
+            for entry, live in failures
+        ],
+    }
+    lines = [f"corpus replay: {len(entries)} entries from {corpus_dir}"]
+    for entry, live in failures:
+        lines.append(
+            f"REGRESSION {entry.name}: recorded verdict '{entry.verdict}' "
+            f"no longer holds (live: {live.status}/{live.oracle or '-'})"
+        )
+    lines.append("corpus clean" if not failures
+                 else f"{len(failures)} corpus regression(s)")
+    _print(args, payload, "\n".join(lines))
+    return 0 if not failures else 1
+
+
+def _smoke(args) -> int:
+    campaign_rc = _campaign(argparse.Namespace(
+        seed=SMOKE_SEED, executions=SMOKE_EXECUTIONS, targets=list(TARGETS),
+        shards=DEFAULT_SHARDS, workers=args.workers, out=args.out,
+        json=args.json,
+    ))
+    corpus_rc = _replay_corpus(Path(args.corpus or default_corpus_dir()), args)
+    return max(campaign_rc, corpus_rc)
+
+
+def _replay_one(path: Path, args) -> int:
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and data.get("format"):
+        entry = CorpusEntry.from_dict(data)
+        holds, live = entry.replay()
+        payload = {"name": entry.name, "verdict": entry.verdict,
+                   "holds": holds, "live": live.to_dict()}
+        _print(args, payload,
+               f"{entry.name}: verdict '{entry.verdict}' "
+               f"{'holds' if holds else 'REGRESSED'} "
+               f"(live: {live.status}/{live.oracle or '-'}: {live.detail})")
+        return 0 if holds else 1
+    case = FuzzCase.from_dict(data)
+    live = run_case(case)
+    _print(args, {"case": case.to_dict(), "result": live.to_dict()},
+           f"{case.target}: {live.status}/{live.oracle or '-'}: {live.detail}")
+    return 0 if live.status != "counterexample" else 1
+
+
+def _minimize(path: Path, args) -> int:
+    data = json.loads(path.read_text())
+    case = (CorpusEntry.from_dict(data).case
+            if isinstance(data, dict) and data.get("format")
+            else FuzzCase.from_dict(data))
+    result = run_case(case)
+    if result.status != "counterexample":
+        _print(args, {"case": case.to_dict(), "result": result.to_dict()},
+               f"not a counterexample ({result.status}); nothing to minimize")
+        return 0
+    small, small_result = minimize_case(case, result)
+    payload = {"case": small.to_dict(), "oracle": small_result.oracle,
+               "detail": small_result.detail}
+    if args.out:
+        Path(args.out).write_text(small.to_json())
+    _print(args, payload,
+           f"minimized {len(case.to_json())} -> {len(small.to_json())} bytes "
+           f"[{small_result.oracle}]\n{small.to_json()}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.fuzz",
+        description="Coverage-guided fuzzer over the Flicker security surface",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--smoke", action="store_true",
+                      help="bounded fixed-seed campaign + corpus replay (CI gate)")
+    mode.add_argument("--campaign", action="store_true",
+                      help="full campaign with the given seed/budget")
+    mode.add_argument("--replay", metavar="PATH",
+                      help="re-execute one corpus entry or raw case file")
+    mode.add_argument("--minimize", metavar="PATH",
+                      help="shrink a counterexample case file")
+    parser.add_argument("--seed", type=int, default=SMOKE_SEED)
+    parser.add_argument("--executions", type=int, default=400)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--targets", nargs="+", default=list(TARGETS),
+                        choices=list(TARGETS))
+    parser.add_argument("--corpus", help="corpus directory (default: committed)")
+    parser.add_argument("--out", help="write the report/minimized case here")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.smoke:
+            return _smoke(args)
+        if args.campaign:
+            return _campaign(args)
+        if args.replay:
+            return _replay_one(Path(args.replay), args)
+        return _minimize(Path(args.minimize), args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.crypto.sha1 import sha1
+from repro.errors import TPMNVError
 from repro.tpm.structures import PCRComposite, SealedBlob
 from repro.tpm.tpm import TPMInterface, command_digest
 
@@ -76,6 +77,12 @@ class TPMSessionDriver:
         write_pcr_policy: Optional[Dict[int, bytes]] = None,
     ):
         """TPM_NV_DefineSpace using the given owner authorization."""
+        # Validate before to_bytes: a negative index used to escape as an
+        # untyped OverflowError (tests/fuzz/corpus/nv-define-negative.json).
+        if not 0 <= index <= 0xFFFFFFFF:
+            raise TPMNVError("NV index must be an unsigned 32-bit value")
+        if not 0 <= size <= 0xFFFFFFFF:
+            raise TPMNVError("NV size must be an unsigned 32-bit value")
         session = self._tpm.start_oiap()
         nonce_odd = self._nonce_odd()
         digest = command_digest(

@@ -116,14 +116,23 @@ class SealedBlob:
     #: duplicated here only for diagnostics/pretty-printing).
     bound_pcrs: Tuple[int, ...]
 
-    def encode(self) -> bytes:
-        """Serialize for storage by the untrusted OS."""
+    def authenticated_bytes(self) -> bytes:
+        """Everything the MAC must cover: the full framing minus the MAC.
+
+        The fuzzer found (tests/fuzz/corpus/seal-header-tamper.json) that a
+        MAC over the ciphertext alone lets untrusted code rewrite the header
+        — e.g. the bound-PCR diagnostics — without detection, so the TPM
+        MACs the encoded blob up to (but excluding) the MAC field itself.
+        """
         pcrs = b"".join(i.to_bytes(2, "big") for i in self.bound_pcrs)
         return (
             len(self.bound_pcrs).to_bytes(2, "big") + pcrs
             + len(self.ciphertext).to_bytes(4, "big") + self.ciphertext
-            + self.mac
         )
+
+    def encode(self) -> bytes:
+        """Serialize for storage by the untrusted OS."""
+        return self.authenticated_bytes() + self.mac
 
     @classmethod
     def decode(cls, data: bytes) -> "SealedBlob":

@@ -314,6 +314,12 @@ class TPM:
                            locality=locality)
 
     def _get_random(self, num_bytes: int) -> bytes:
+        # Found by the coverage-guided fuzzer (tests/fuzz/corpus/
+        # tpm-get-random-negative.json): a negative count escaped as an
+        # untyped ValueError from the RNG, violating the typed-error
+        # contract at the PAL boundary.
+        if num_bytes < 0:
+            raise TPMError("GetRandom byte count must be non-negative")
         self._fault("get_random", nbytes=num_bytes)
         self._charge(self.timings.getrandom_ms(num_bytes), "get_random", nbytes=num_bytes)
         return self._rng.bytes(num_bytes)
@@ -390,10 +396,15 @@ class TPM:
         payload = self._encode_sealed_payload(pcr_policy, data)
         iv = self._rng.bytes(16)
         ciphertext = iv + AES128(self._storage_key).encrypt_cbc(payload, iv)
-        mac = hmac_sha1(self._storage_mac_key, ciphertext)
+        # MAC the full framing (header + ciphertext), not the ciphertext
+        # alone: the fuzzer showed a header-only bit-flip slipping past a
+        # ciphertext-only MAC (tests/fuzz/corpus/seal-header-tamper.json).
+        blob = SealedBlob(ciphertext=ciphertext, mac=b"\x00" * 20,
+                          bound_pcrs=tuple(sorted(pcr_policy)))
+        mac = hmac_sha1(self._storage_mac_key, blob.authenticated_bytes())
         self._charge(self.timings.seal_ms(len(data)), "seal", nbytes=len(data),
                      pcrs=sorted(pcr_policy))
-        return SealedBlob(ciphertext=ciphertext, mac=mac, bound_pcrs=tuple(sorted(pcr_policy)))
+        return SealedBlob(ciphertext=ciphertext, mac=mac, bound_pcrs=blob.bound_pcrs)
 
     def _unseal(
         self,
@@ -405,7 +416,8 @@ class TPM:
         self._fault("unseal")
         digest = command_digest("TPM_Unseal", blob.ciphertext)
         self._session(session_id).verify_proof(self.srk_auth, digest, nonce_odd, proof)
-        if not constant_time_equal(hmac_sha1(self._storage_mac_key, blob.ciphertext), blob.mac):
+        expected_mac = hmac_sha1(self._storage_mac_key, blob.authenticated_bytes())
+        if not constant_time_equal(expected_mac, blob.mac):
             raise TPMError("sealed blob integrity check failed")
         iv, body = blob.ciphertext[:16], blob.ciphertext[16:]
         payload = AES128(self._storage_key).decrypt_cbc(body, iv)
@@ -432,6 +444,8 @@ class TPM:
         self._require_owner_auth(self._session(session_id), digest, nonce_odd, proof)
         if index in self._nv_spaces:
             raise TPMNVError(f"NV space {index:#x} already defined")
+        if not 0 <= index <= 0xFFFFFFFF:
+            raise TPMNVError("NV index must be an unsigned 32-bit value")
         if size <= 0 or size > 4096:
             raise TPMNVError("NV space size must be in 1..4096 bytes")
         space = NVSpace(

@@ -33,6 +33,23 @@ from repro.osim import UntrustedKernel
 from repro.sim import DeterministicRNG
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """Suite-wide options.
+
+    ``--fuzz-seed`` reseeds the bounded fuzz campaigns in ``tests/fuzz/``
+    (plumbed through the ``fuzz_seed`` fixture in
+    ``tests/fuzz/conftest.py``).  The default matches the CI smoke seed so
+    a plain ``pytest`` run reproduces exactly what CI executed.
+    """
+    parser.addoption(
+        "--fuzz-seed",
+        action="store",
+        type=int,
+        default=2008,
+        help="seed for the bounded fuzz campaigns in tests/fuzz/",
+    )
+
+
 @pytest.fixture
 def rng() -> DeterministicRNG:
     """A deterministic RNG with a fixed seed."""

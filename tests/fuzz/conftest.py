@@ -1,0 +1,21 @@
+"""Fixtures for the fuzzer test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture
+def fuzz_seed(request: pytest.FixtureRequest) -> int:
+    """The campaign seed, overridable via ``pytest --fuzz-seed N``."""
+    return request.config.getoption("--fuzz-seed")
+
+
+@pytest.fixture
+def corpus_dir() -> Path:
+    """The committed counterexample corpus."""
+    return CORPUS_DIR

@@ -1,0 +1,86 @@
+"""FuzzCase canonicalization and mutation-operator properties."""
+
+import pytest
+
+from repro.fuzz.case import TARGETS, FuzzCase, FuzzCaseError, get_bytes
+from repro.fuzz.mutators import (
+    MAX_BYTES,
+    MAX_COMMANDS,
+    MAX_SPECS,
+    mutate,
+    seed_corpus,
+)
+from repro.sim.rng import DeterministicRNG
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestFuzzCase:
+    def test_round_trips_through_json(self):
+        case = FuzzCase("tpm", {"commands": [
+            {"op": "pcr_extend", "index": 17, "data": b"\x01" * 20},
+        ]})
+        assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_bytes_become_hex(self):
+        case = FuzzCase("skinit", {"body": b"\xde\xad"})
+        assert case.payload["body"] == {"hex": "dead"}
+        assert get_bytes(case.payload, "body") == b"\xde\xad"
+
+    def test_digest_is_stable_identity(self):
+        a = FuzzCase("seal", {"bind": True, "tampers": []})
+        b = FuzzCase("seal", {"tampers": [], "bind": True})
+        assert a.digest() == b.digest()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(FuzzCaseError):
+            FuzzCase("bios", {})
+
+    def test_unsupported_payload_value_rejected(self):
+        with pytest.raises(FuzzCaseError):
+            FuzzCase("tpm", {"weird": 1.5})
+
+
+class TestSeedCorpus:
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_every_target_has_seeds(self, target):
+        seeds = seed_corpus(target)
+        assert seeds
+        assert all(case.target == target for case in seeds)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            seed_corpus("bios")
+
+
+class TestMutate:
+    def test_deterministic_under_same_rng(self):
+        base = seed_corpus("tpm")[0]
+        chain_a = chain_b = base
+        rng_a, rng_b = DeterministicRNG(7), DeterministicRNG(7)
+        for _ in range(25):
+            chain_a = mutate(chain_a, rng_a)
+            chain_b = mutate(chain_b, rng_b)
+        assert chain_a == chain_b
+
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_mutants_stay_valid_and_bounded(self, target):
+        rng = DeterministicRNG(11)
+        case = seed_corpus(target)[0]
+        for _ in range(50):
+            case = mutate(case, rng)
+            assert case.target == target
+            commands = case.payload.get("commands")
+            if isinstance(commands, list):
+                assert len(commands) <= MAX_COMMANDS
+            specs = case.payload.get("specs")
+            if isinstance(specs, list):
+                assert len(specs) <= MAX_SPECS
+            for value in case.payload.values():
+                if isinstance(value, dict) and "hex" in value:
+                    assert len(value["hex"]) <= MAX_BYTES * 2
+
+    def test_mutation_eventually_changes_case(self):
+        rng = DeterministicRNG(13)
+        base = seed_corpus("seal")[0]
+        assert any(mutate(base, rng) != base for _ in range(10))

@@ -1,0 +1,89 @@
+"""The ``python -m repro.tools.fuzz`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.fuzz.case import FuzzCase
+from repro.tools.fuzz import build_parser, main
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestParser:
+    def test_requires_a_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_modes_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--smoke", "--campaign"])
+
+    def test_target_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--campaign", "--targets", "bios"])
+
+
+class TestCampaign:
+    def test_small_campaign_clean(self, capsys):
+        rc = main(["--campaign", "--executions", "16", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "counterexamples: 0" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        rc = main(["--campaign", "--executions", "16", "--seed", "5",
+                   "--json", "--out", str(out_file)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        report = json.loads(stdout)
+        assert report["summary"]["clean"]
+        assert out_file.read_text() == stdout
+
+    def test_same_seed_same_bytes(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            main(["--campaign", "--executions", "16", "--seed", "5",
+                  "--out", str(path)])
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_target_restriction(self, capsys):
+        rc = main(["--campaign", "--executions", "8", "--targets", "tpm",
+                   "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert set(report["executions"]["by_target"]) == {"tpm"}
+
+
+class TestReplay:
+    def test_replay_corpus_entry(self, corpus_dir, capsys):
+        rc = main(["--replay",
+                   str(corpus_dir / "seal-header-tamper.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "holds" in out
+
+    def test_replay_raw_case_file(self, tmp_path, capsys):
+        case = FuzzCase("seal", {"bind": True})
+        path = tmp_path / "case.json"
+        path.write_text(case.to_json())
+        rc = main(["--replay", str(path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["result"]["status"] == "ok"
+
+    def test_missing_file_is_usage_error(self, capsys):
+        rc = main(["--replay", "does-not-exist.json"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMinimize:
+    def test_non_counterexample_is_noop(self, tmp_path, capsys):
+        case = FuzzCase("seal", {"bind": True})
+        path = tmp_path / "case.json"
+        path.write_text(case.to_json())
+        rc = main(["--minimize", str(path)])
+        assert rc == 0
+        assert "nothing to minimize" in capsys.readouterr().out

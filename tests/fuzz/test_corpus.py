@@ -1,0 +1,75 @@
+"""Corpus format and the non-regression contract over committed entries."""
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import (
+    FORMAT,
+    CorpusEntry,
+    CorpusError,
+    load_corpus,
+)
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestCorpusFormat:
+    def test_load_committed_corpus(self, corpus_dir):
+        entries = load_corpus(corpus_dir)
+        assert len(entries) >= 4
+        names = [entry.name for entry in entries]
+        assert names == sorted(names)  # filename order == load order
+
+    def test_entries_round_trip(self, corpus_dir):
+        for entry in load_corpus(corpus_dir):
+            again = CorpusEntry.from_dict(json.loads(entry.to_json()))
+            assert again == entry
+
+    def test_files_are_canonical_json(self, corpus_dir):
+        for path in sorted(corpus_dir.glob("*.json")):
+            on_disk = path.read_text()
+            entry = CorpusEntry.from_dict(json.loads(on_disk))
+            assert entry.to_json() == on_disk, f"{path.name} is not canonical"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(CorpusError):
+            CorpusEntry.from_dict({"format": "not-a-corpus-file"})
+
+    def test_bad_verdict_rejected(self):
+        with pytest.raises(CorpusError):
+            CorpusEntry.from_dict({
+                "format": FORMAT, "name": "x", "verdict": "maybe",
+                "case": {"target": "tpm", "payload": {}}, "oracle": "o",
+            })
+
+
+class TestNonRegressionContract:
+    """Every committed counterexample replays deterministically with its
+    recorded verdict — the fuzzer's findings stay fixed (or pinned) forever."""
+
+    def test_every_entry_verdict_holds(self, corpus_dir):
+        regressions = []
+        for entry in load_corpus(corpus_dir):
+            holds, live = entry.replay()
+            if not holds:
+                regressions.append(
+                    f"{entry.name}: verdict '{entry.verdict}' broken "
+                    f"(live {live.status}/{live.oracle}: {live.detail})"
+                )
+        assert not regressions, "\n".join(regressions)
+
+    def test_replay_is_deterministic(self, corpus_dir):
+        for entry in load_corpus(corpus_dir):
+            first = entry.replay()[1].to_dict()
+            second = entry.replay()[1].to_dict()
+            assert first == second, entry.name
+
+    def test_known_findings_are_present(self, corpus_dir):
+        names = {entry.name for entry in load_corpus(corpus_dir)}
+        assert {
+            "tpm-get-random-negative",
+            "nv-define-negative",
+            "seal-header-tamper",
+            "seal-replay-message-leak",
+        } <= names

@@ -1,0 +1,89 @@
+"""Edge-collector and coverage-map behavior."""
+
+import pytest
+
+from repro.fuzz.coverage import CoverageMap, EdgeCollector, tcb_module_names
+from repro.hw.machine import Machine
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestTCBModuleNames:
+    def test_reads_pinned_closure(self):
+        names = tcb_module_names()
+        assert "repro.tpm.tpm" in names
+        assert "repro.hw.skinit" in names
+        assert "repro.core.modules.tpm_utils" in names
+
+    def test_excludes_untrusted_modules(self):
+        names = tcb_module_names()
+        assert not any(n.startswith("repro.osim") for n in names)
+        assert not any(n.startswith("repro.fuzz") for n in names)
+        assert not any(n.startswith("repro.faults") for n in names)
+
+    def test_sorted_and_stable(self):
+        names = tcb_module_names()
+        assert list(names) == sorted(names)
+        assert tcb_module_names() == names
+
+
+class TestEdgeCollector:
+    def test_collects_tcb_edges_only(self):
+        collector = EdgeCollector()
+
+        def job():
+            return Machine(seed=1).os_tpm_interface().pcr_read(17)
+
+        result, edges = collector.collect(job)
+        assert len(result) == 20
+        assert edges
+        tcb = set(tcb_module_names())
+        assert {module for module, _, _ in edges} <= tcb
+
+    def test_deterministic_across_runs(self):
+        collector = EdgeCollector()
+
+        def job():
+            return Machine(seed=1).os_tpm_interface().pcr_read(17)
+
+        _, first = collector.collect(job)
+        _, second = collector.collect(job)
+        assert first == second
+
+    def test_exceptions_propagate_and_tracer_restored(self):
+        import sys
+
+        collector = EdgeCollector(backend="settrace")
+        prior = sys.gettrace()
+        with pytest.raises(ValueError):
+            collector.collect(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        assert sys.gettrace() is prior
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeCollector(backend="perf")
+
+
+class TestCoverageMap:
+    def test_observe_counts_only_new(self):
+        cov = CoverageMap()
+        assert cov.observe([("m", 0, 1), ("m", 1, 2)]) == 2
+        assert cov.observe([("m", 1, 2), ("m", 2, 3)]) == 1
+        assert cov.edge_count == 3
+
+    def test_digest_order_independent(self):
+        a = CoverageMap([("m", 0, 1), ("n", 4, 5)])
+        b = CoverageMap([("n", 4, 5), ("m", 0, 1)])
+        assert a.digest() == b.digest()
+
+    def test_merge_is_monotone(self):
+        a = CoverageMap([("m", 0, 1)])
+        b = CoverageMap([("m", 0, 1), ("m", 1, 2)])
+        before = a.edge_count
+        new = a.merge(b)
+        assert new == 1
+        assert a.edge_count == before + new
+
+    def test_to_dict_is_canonical(self):
+        cov = CoverageMap([("b", 0, 1), ("a", 0, 1)])
+        assert cov.to_dict()["modules"] == ["a", "b"]

@@ -1,0 +1,94 @@
+"""Counterexample minimization: deterministic, oracle-preserving shrinking."""
+
+import pytest
+
+from repro.fuzz import minimize as minimize_mod
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.minimize import minimize_case
+from repro.fuzz.targets import TargetResult
+
+pytestmark = pytest.mark.fuzz
+
+
+def _fake_oracle(predicate):
+    """A stand-in run_case: counterexample iff predicate(case)."""
+
+    def runner(case):
+        if predicate(case):
+            return TargetResult("counterexample", "fake-oracle", "still fails")
+        return TargetResult("ok", "", "clean")
+
+    return runner
+
+
+class TestMinimize:
+    def test_non_counterexample_returned_unchanged(self):
+        case = FuzzCase("seal", {"bind": True})
+        result = TargetResult("ok", "", "clean")
+        assert minimize_case(case, result) == (case, result)
+
+    def test_shrinks_list_to_failing_element(self, monkeypatch):
+        def fails(case):
+            commands = case.payload.get("commands", [])
+            return any(c.get("op") == "bad" for c in commands
+                       if isinstance(c, dict))
+
+        monkeypatch.setattr(minimize_mod, "run_case", _fake_oracle(fails))
+        case = FuzzCase("tpm", {"commands": [
+            {"op": "pcr_read", "index": 17},
+            {"op": "bad"},
+            {"op": "get_capability"},
+        ]})
+        result = minimize_mod.run_case(case)
+        small, small_result = minimize_case(case, result)
+        assert small.payload["commands"] == [{"op": "bad"}]
+        assert small_result.oracle == "fake-oracle"
+
+    def test_shrinks_integers_toward_zero(self, monkeypatch):
+        def fails(case):
+            return case.payload.get("base", 0) >= 100
+
+        monkeypatch.setattr(minimize_mod, "run_case", _fake_oracle(fails))
+        case = FuzzCase("skinit", {"base": 100000, "length": 64})
+        result = minimize_mod.run_case(case)
+        small, _ = minimize_case(case, result)
+        assert 100 <= small.payload["base"] < 100000
+        assert small.payload["length"] == 0  # unconstrained field zeroed
+
+    def test_truncates_byte_fields(self, monkeypatch):
+        def fails(case):
+            from repro.fuzz.case import get_bytes
+
+            return len(get_bytes(case.payload, "body")) >= 4
+
+        monkeypatch.setattr(minimize_mod, "run_case", _fake_oracle(fails))
+        case = FuzzCase("skinit", {"body": b"\xaa" * 64})
+        result = minimize_mod.run_case(case)
+        small, _ = minimize_case(case, result)
+        assert len(bytes.fromhex(small.payload["body"]["hex"])) == 4
+
+    def test_minimization_is_deterministic(self, monkeypatch):
+        def fails(case):
+            commands = case.payload.get("commands", [])
+            return sum(1 for c in commands if isinstance(c, dict)) >= 2
+
+        monkeypatch.setattr(minimize_mod, "run_case", _fake_oracle(fails))
+        case = FuzzCase("tpm", {"commands": [{"op": "a"}, {"op": "b"},
+                                             {"op": "c"}, {"op": "d"}]})
+        result = minimize_mod.run_case(case)
+        first, _ = minimize_case(case, result)
+        second, _ = minimize_case(case, result)
+        assert first == second
+
+    def test_respects_eval_budget(self, monkeypatch):
+        calls = []
+
+        def runner(case):
+            calls.append(case)
+            return TargetResult("counterexample", "fake-oracle", "fails")
+
+        monkeypatch.setattr(minimize_mod, "run_case", runner)
+        case = FuzzCase("tpm", {"commands": [{"op": str(i)} for i in range(8)]})
+        minimize_case(case, TargetResult("counterexample", "fake-oracle", "x"),
+                      max_evals=10)
+        assert len(calls) <= 10

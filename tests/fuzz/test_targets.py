@@ -1,0 +1,144 @@
+"""Target executors: oracle classification on known inputs."""
+
+import pytest
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.mutators import seed_corpus
+from repro.fuzz.targets import SECRET, run_case
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestSeedCorpusVerdicts:
+    """The committed seed cases must never themselves be counterexamples —
+    they are the known-good / known-typed starting points."""
+
+    @pytest.mark.parametrize("target", ("tpm", "skinit", "seal", "faults"))
+    def test_no_seed_case_fails(self, target):
+        for case in seed_corpus(target):
+            result = run_case(case)
+            assert result.status in ("ok", "rejected"), (case, result)
+
+
+class TestTpmTarget:
+    def test_happy_stream_is_ok(self):
+        case = FuzzCase("tpm", {"commands": [
+            {"op": "seal", "bind": True},
+            {"op": "unseal", "which": 0, "tamper": -1},
+        ]})
+        assert run_case(case).status == "ok"
+
+    def test_negative_get_random_is_typed(self):
+        case = FuzzCase("tpm", {"commands": [{"op": "get_random", "n": -7}]})
+        result = run_case(case)
+        assert result.status == "ok"  # typed refusal inside the stream
+
+    def test_tampered_unseal_is_refused(self):
+        case = FuzzCase("tpm", {"commands": [
+            {"op": "seal", "bind": True},
+            {"op": "unseal", "which": 0, "tamper": 0, "xor": 255},
+        ]})
+        result = run_case(case)
+        assert result.status == "ok"  # refusal, not a counterexample
+
+    def test_hardware_extend_then_read_is_coherent(self):
+        case = FuzzCase("tpm", {"commands": [
+            {"op": "extend_hw", "index": 17, "data": b"\x42" * 20},
+            {"op": "pcr_read", "index": 17},
+        ]})
+        assert run_case(case).status == "ok"
+
+    def test_quote_forgery_oracle_runs(self):
+        case = FuzzCase("tpm", {"commands": [{"op": "quote", "nonce": b"x"}]})
+        assert run_case(case).status == "ok"
+
+    def test_unknown_ops_are_skipped(self):
+        case = FuzzCase("tpm", {"commands": [{"op": "warp-core"}]})
+        assert run_case(case).status == "ok"
+
+
+class TestSkinitTarget:
+    def test_valid_launch_ok(self):
+        case = FuzzCase("skinit", {"base": 4096, "length": 64, "entry": 4,
+                                   "body": b"\x90" * 60})
+        result = run_case(case)
+        assert result.status == "ok", result
+
+    @pytest.mark.parametrize("overrides", (
+        {"base": 4097},            # misaligned
+        {"quiesce": False},        # APs running
+        {"ring": 3},               # not ring 0
+        {"length": 3},             # header too short
+        {"entry": 4096},           # entry outside measured region
+        {"tamper_bit": 5},         # measured bytes changed
+        {"register": False},       # nothing registered for the measurement
+        {"base": -4096},           # negative base
+        {"base": 2 ** 31},         # beyond physical memory
+    ))
+    def test_invalid_launches_rejected_typed(self, overrides):
+        payload = {"base": 4096, "length": 64, "entry": 4,
+                   "body": b"\x90" * 60}
+        payload.update(overrides)
+        result = run_case(FuzzCase("skinit", payload))
+        assert result.status == "rejected", result
+
+
+class TestSealTarget:
+    def test_clean_roundtrip(self):
+        case = FuzzCase("seal", {"bind": True})
+        assert run_case(case).status == "ok"
+
+    def test_single_tamper_rejected(self):
+        case = FuzzCase("seal", {"bind": True,
+                                 "tampers": [{"offset": 5, "xor": 1}]})
+        assert run_case(case).status == "rejected"
+
+    def test_cancelling_tampers_are_a_noop(self):
+        case = FuzzCase("seal", {"bind": True,
+                                 "tampers": [{"offset": 5, "xor": 9},
+                                             {"offset": 5, "xor": 9}]})
+        assert run_case(case).status == "ok"
+
+    def test_policy_violation_rejected(self):
+        case = FuzzCase("seal", {"bind": True,
+                                 "extends": [{"data": b"\x77" * 20}]})
+        assert run_case(case).status == "rejected"
+
+    def test_versioned_newest_succeeds(self):
+        case = FuzzCase("seal", {"mode": "versioned", "reseals": 3,
+                                 "present": 2})
+        assert run_case(case).status == "ok"
+
+    def test_versioned_stale_rejected_without_numerals(self):
+        case = FuzzCase("seal", {"mode": "versioned", "reseals": 3,
+                                 "present": 0})
+        result = run_case(case)
+        assert result.status == "rejected"
+
+
+class TestFaultsTarget:
+    def test_valid_plan_never_leaks(self):
+        case = FuzzCase("faults", {"app": "rootkit", "seed": 9, "specs": [
+            {"kind": "tpm-transient", "op": "seal", "count": 2},
+        ]})
+        result = run_case(case)
+        assert result.status == "ok"
+
+    def test_bogus_kind_is_rejected(self):
+        case = FuzzCase("faults", {"specs": [{"kind": "warp-field"}]})
+        assert run_case(case).status == "rejected"
+
+    def test_unknown_app_falls_back(self):
+        case = FuzzCase("faults", {"app": "bogus", "specs": []})
+        assert run_case(case).status == "ok"
+
+
+class TestSecretHygiene:
+    def test_canary_never_in_results(self):
+        """No verdict detail may carry the canary secret."""
+        marker = SECRET.decode("ascii")
+        for target in ("tpm", "skinit", "seal", "faults"):
+            for case in seed_corpus(target):
+                result = run_case(case)
+                assert marker not in result.detail
+                assert SECRET.hex() not in result.detail

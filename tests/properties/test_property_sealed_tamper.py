@@ -1,0 +1,71 @@
+"""Property test: a single-byte tamper *anywhere* in a sealed blob —
+header, ciphertext, or MAC — always fails unseal with a typed error, and
+the error text never leaks plaintext or replay-counter values.
+
+This pins the fuzzer-found MAC gap (tests/fuzz/corpus/seal-header-tamper
+.json): before the fix the MAC covered only the ciphertext, so header
+bytes could be rewritten undetected.  The MAC now covers the full framing
+(:meth:`repro.tpm.structures.SealedBlob.authenticated_bytes`), making
+every byte of the encoding tamper-evident.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TPMError
+from repro.hw.machine import Machine
+from repro.tpm.driver import TPMSessionDriver
+from repro.tpm.structures import SealedBlob
+
+pytestmark = pytest.mark.fuzz
+
+SECRET = b"property-tamper-secret"
+
+
+@pytest.fixture(scope="module")
+def sealed():
+    """One sealed blob per module: tampering never mutates TPM state."""
+    machine = Machine(seed=99)
+    driver = TPMSessionDriver(machine.os_tpm_interface())
+    blob = driver.seal(SECRET, {17: driver.pcr_read(17)})
+    return driver, blob.encode()
+
+
+@given(offset=st.integers(min_value=0, max_value=10 ** 6),
+       mask=st.integers(min_value=1, max_value=255))
+@settings(max_examples=60, deadline=None)
+def test_any_single_byte_tamper_fails_typed(sealed, offset, mask):
+    driver, encoding = sealed
+    tampered = bytearray(encoding)
+    tampered[offset % len(tampered)] ^= mask
+    with pytest.raises(TPMError) as excinfo:
+        blob = SealedBlob.decode(bytes(tampered))
+        data = driver.unseal(blob)
+        raise AssertionError(
+            f"tampered blob unsealed to {len(data)} bytes"  # pragma: no cover
+        )
+    message = str(excinfo.value)
+    assert SECRET.decode("ascii") not in message
+    assert SECRET.hex() not in message
+
+
+@given(offset=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=30, deadline=None)
+def test_tamper_region_does_not_matter(sealed, offset):
+    """Header bytes (PCR selection, lengths) are as protected as the
+    ciphertext and the MAC itself."""
+    driver, encoding = sealed
+    for region_offset in (
+        offset % 6,                        # header: count + pcr index + ct_len
+        6 + offset % (len(encoding) - 26),  # ciphertext body
+        len(encoding) - 1 - offset % 20,    # MAC tail
+    ):
+        tampered = bytearray(encoding)
+        tampered[region_offset] ^= 0x01
+        with pytest.raises(TPMError):
+            driver.unseal(SealedBlob.decode(bytes(tampered)))
+
+
+def test_untampered_blob_still_unseals(sealed):
+    driver, encoding = sealed
+    assert driver.unseal(SealedBlob.decode(encoding)) == SECRET

@@ -1,0 +1,87 @@
+"""Property test: the TPM idempotent-read cache is coherent under any
+interleaving of software reads, software extends, and *direct hardware*
+PCR-bank writes.
+
+The hardware path (SKINIT/TXT measuring into PCR 17, see
+:func:`repro.hw.skinit.skinit`) bypasses the TPM command layer entirely,
+so cache invalidation cannot hang off command dispatch — it hangs off the
+:class:`~repro.tpm.pcr.PCRBank` ``generation`` counter, which every
+mutating bank operation bumps.  This test pins that contract from PR 4:
+whatever interleaving hypothesis generates, a software ``pcr_read`` must
+always agree with a pure-Python shadow of the extend chain.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRNG
+from repro.sim.timing import BROADCOM_BCM0102
+from repro.sim.trace import EventTrace
+from repro.tpm.pcr import extend_value
+from repro.tpm.tpm import TPM
+
+pytestmark = pytest.mark.fuzz
+
+_PCRS = (4, 17, 18)
+
+_step = st.one_of(
+    st.tuples(st.just("read"), st.sampled_from(_PCRS)),
+    st.tuples(st.just("extend_sw"), st.sampled_from(_PCRS)),
+    st.tuples(st.just("extend_hw"), st.sampled_from(_PCRS)),
+)
+
+
+def _fresh_tpm() -> TPM:
+    return TPM(VirtualClock(), EventTrace(), DeterministicRNG(42),
+               BROADCOM_BCM0102, key_bits=512)
+
+
+@given(steps=st.lists(_step, max_size=24))
+@settings(max_examples=25, deadline=None)
+def test_reads_always_coherent_under_interleaving(steps):
+    tpm = _fresh_tpm()
+    iface = tpm.interface(0)
+    shadow = {index: iface.pcr_read(index) for index in _PCRS}
+    for i, (kind, index) in enumerate(steps):
+        measurement = bytes([i % 256]) * 20
+        if kind == "read":
+            assert iface.pcr_read(index) == shadow[index]
+        elif kind == "extend_sw":
+            iface.pcr_extend(index, measurement)
+            shadow[index] = extend_value(shadow[index], measurement)
+        else:  # extend_hw: the SKINIT path, bypassing the command layer
+            tpm.pcrs.extend(index, measurement)
+            shadow[index] = extend_value(shadow[index], measurement)
+        # The cache may serve any number of hits, but never a stale value.
+        assert iface.pcr_read(index) == shadow[index]
+
+
+@given(index=st.sampled_from(_PCRS),
+       hardware_writes=st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_generation_counts_every_hardware_write(index, hardware_writes):
+    tpm = _fresh_tpm()
+    before = tpm.pcrs.generation
+    for i in range(hardware_writes):
+        tpm.pcrs.extend(index, bytes([i]) * 20)
+    assert tpm.pcrs.generation == before + hardware_writes
+
+
+@given(steps=st.lists(_step, min_size=1, max_size=16))
+@settings(max_examples=15, deadline=None)
+def test_cache_still_earns_hits_between_writes(steps):
+    """Coherence must not be bought by disabling the cache outright."""
+    tpm = _fresh_tpm()
+    iface = tpm.interface(0)
+    for kind, index in steps:
+        if kind == "read":
+            iface.pcr_read(index)
+            iface.pcr_read(index)
+        elif kind == "extend_sw":
+            iface.pcr_extend(index, b"\x01" * 20)
+        else:
+            tpm.pcrs.extend(index, b"\x02" * 20)
+    iface.pcr_read(17)
+    iface.pcr_read(17)
+    assert tpm.read_cache_info()["hits"] >= 1
