@@ -10,8 +10,8 @@ checks every repo-internal module it reaches against an allowlist.
 
 Reaching :mod:`repro.osim` (the untrusted-OS simulation),
 :mod:`repro.obs`, :mod:`repro.faults`, :mod:`repro.tools`,
-:mod:`repro.apps`, :mod:`repro.bench` or :mod:`repro.analysis` from PAL
-code is an error (TCB001): those subsystems are by definition outside
+:mod:`repro.apps`, :mod:`repro.bench`, :mod:`repro.dist` or
+:mod:`repro.analysis` from PAL code is an error (TCB001): those subsystems are by definition outside
 the TCB, and an import from inside it would silently grow every PAL's
 trusted base.  ``if TYPE_CHECKING:`` imports are exempt — they never
 execute at run time.
@@ -61,6 +61,7 @@ TCB_FORBIDDEN_PREFIXES = (
     "repro.analysis",
     "repro.apps",
     "repro.bench",
+    "repro.dist",
     "repro.faults",
     "repro.fuzz",
     "repro.obs",
@@ -146,8 +147,8 @@ class TCBForbiddenImportRule(Rule):
     ``repro.core``, ``repro.crypto``, ``repro.errors``, ``repro.hw``,
     ``repro.sim`` and ``repro.tpm``.  Reaching ``repro.osim``,
     ``repro.obs``, ``repro.faults``, ``repro.tools``, ``repro.apps``,
-    ``repro.bench`` or ``repro.analysis`` means untrusted or tooling
-    code was pulled into every PAL's trusted base.
+    ``repro.bench``, ``repro.dist`` or ``repro.analysis`` means
+    untrusted or tooling code was pulled into every PAL's trusted base.
 
     Fix it by moving the shared functionality into an allowlisted
     package (as ``repro.tpm.driver`` does for the TPM session plumbing)

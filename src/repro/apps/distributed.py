@@ -471,6 +471,14 @@ class UnitResult:
     nonce: bytes
 
 
+@dataclass(frozen=True)
+class VerifiedUnit:
+    """Verification worker → dispatch loop: one checked result."""
+
+    message: UnitResult
+    ok: bool
+
+
 @dataclass
 class FleetMachineOutcome:
     """One machine's contribution to a fleet project run."""
@@ -583,7 +591,12 @@ class FleetProject:
         slice_ms: float = 2000.0,
         range_per_unit: int = 400,
         os_gap_ms: float = 0.0,
+        verify_mode: str = "scheduled",
     ) -> None:
+        if verify_mode not in ("scheduled", "inline"):
+            raise ValueError(
+                f"verify_mode must be 'scheduled' or 'inline', not {verify_mode!r}"
+            )
         self.fleet = fleet
         self.server = BOINCServer(n=n, range_per_unit=range_per_unit)
         self.units_per_client = units_per_client
@@ -591,6 +604,13 @@ class FleetProject:
         #: Virtual time the untrusted OS keeps the machine between slices
         #: (0 = immediately start the next session).
         self.os_gap_ms = os_gap_ms
+        #: ``"scheduled"`` (default) runs attestation checks as their own
+        #: process on the fleet's verification clock, so dispatch never
+        #: waits behind a verify; ``"inline"`` is the legacy behavior —
+        #: the server loop verifies each result before dispatching the
+        #: next unit, stalling every client behind the verification
+        #: backlog (kept for the pinned timing-difference regression).
+        self.verify_mode = verify_mode
         self._nonce_counter = 0
         self._assigned: Dict[str, int] = {}
         self._outcomes: Dict[str, FleetMachineOutcome] = {}
@@ -615,9 +635,10 @@ class FleetProject:
                                  nonce=self._fresh_nonce())
         )
 
-    def _verify(self, message: UnitResult) -> bool:
-        """Verify one arriving result on the server host's clock."""
-        clock = self.fleet.server_clock
+    def _verify(self, message: UnitResult, clock=None) -> bool:
+        """Verify one arriving result on ``clock`` (default: the server
+        host's dispatch clock — the legacy inline accounting)."""
+        clock = clock if clock is not None else self.fleet.server_clock
         host = self.fleet.host(message.machine_id)
         ops_ms = self.fleet.profile.host.rsa1024_public_op_ms * VERIFY_PUBLIC_OPS
         with clock.span("verify-result"):
@@ -628,21 +649,58 @@ class FleetProject:
             verifier=self.fleet.verifier_for(message.machine_id),
         )
 
-    def _server_proc(self):
-        expected = len(self.fleet.hosts) * self.units_per_client
+    def _record_outcome(self, verified: VerifiedUnit) -> None:
+        outcome = self._outcomes[verified.message.machine_id]
+        if verified.ok:
+            outcome.units_accepted += 1
+        else:
+            outcome.units_rejected += 1
+
+    def _init_dispatch(self) -> None:
         for host in self.fleet.hosts:
             self._assigned[host.machine_id] = 0
             self._outcomes[host.machine_id] = FleetMachineOutcome(host.machine_id)
             self._dispatch(host)
+
+    def _server_proc(self):
+        """Scheduled mode: forward results to the verification worker
+        and dispatch the client's next unit *immediately* — a slow
+        verify can no longer stall the whole fleet's dispatch."""
+        expected = len(self.fleet.hosts) * self.units_per_client
+        self._init_dispatch()
+        verified = 0
+        while verified < expected:
+            message = yield self.fleet.server_mailbox.receive()
+            if isinstance(message, UnitResult):
+                self.fleet.post_local(self.fleet.server_clock,
+                                      self.fleet.verify_mailbox, message)
+                self._dispatch(self.fleet.host(message.machine_id))
+            else:
+                verified += 1
+                self._record_outcome(message)
+                self._finished_at_ms = self.fleet.server_clock.now()
+
+    def _verifier_proc(self):
+        """The verification worker: one check per returned unit, charged
+        to the fleet's dedicated verification clock."""
+        expected = len(self.fleet.hosts) * self.units_per_client
+        for _ in range(expected):
+            message = yield self.fleet.verify_mailbox.receive()
+            ok = self._verify(message, clock=self.fleet.verify_clock)
+            self.fleet.post_local(self.fleet.verify_clock,
+                                  self.fleet.server_mailbox,
+                                  VerifiedUnit(message=message, ok=ok))
+
+    def _server_proc_inline(self):
+        """Legacy mode: verify on the dispatch loop, stalling the next
+        dispatch behind every verification."""
+        expected = len(self.fleet.hosts) * self.units_per_client
+        self._init_dispatch()
         received = 0
         while received < expected:
             message = yield self.fleet.server_mailbox.receive()
             received += 1
-            outcome = self._outcomes[message.machine_id]
-            if self._verify(message):
-                outcome.units_accepted += 1
-            else:
-                outcome.units_rejected += 1
+            self._record_outcome(VerifiedUnit(message, self._verify(message)))
             self._finished_at_ms = self.fleet.server_clock.now()
             self._dispatch(self.fleet.host(message.machine_id))
 
@@ -680,7 +738,11 @@ class FleetProject:
         """Spawn every process, drive the schedule dry, and report."""
         for host in self.fleet.hosts:
             self.fleet.spawn(host, self._client_proc(host))
-        self.fleet.spawn_server(self._server_proc())
+        if self.verify_mode == "scheduled":
+            self.fleet.spawn_server(self._server_proc())
+            self.fleet.spawn_verifier(self._verifier_proc())
+        else:
+            self.fleet.spawn_server(self._server_proc_inline())
         self.fleet.run()
         return self._build_report()
 

@@ -43,6 +43,11 @@ from repro.sim.timing import DEFAULT_PROFILE, TimingProfile
 #: The server/verifier host's machine id.
 SERVER_ID = "server"
 
+#: The server's verification worker.  Attestation checks run on this
+#: clock so a slow verify never stalls the dispatch loop (the server
+#: host models two cores: one dispatching, one verifying).
+VERIFIER_ID = "server-verify"
+
 
 def derive_machine_seed(fleet_seed: int, index: int) -> int:
     """Deterministic per-machine platform seed (stable in ``index``:
@@ -129,12 +134,20 @@ class FlickerFleet:
         #: but verification work and dispatch decisions charge time here).
         self.server_clock = ScheduledClock(self.scheduler, machine_id=SERVER_ID)
         self.server_mailbox = Mailbox(self.scheduler, name=SERVER_ID)
+        #: The verification worker's clock + inbound queue: attestation
+        #: checks charge time here, in parallel with dispatch decisions
+        #: on :attr:`server_clock` (see :meth:`spawn_verifier`).
+        self.verify_clock = ScheduledClock(self.scheduler, machine_id=VERIFIER_ID)
+        self.verify_mailbox = Mailbox(self.scheduler, name=VERIFIER_ID)
         self.server_hub = None
+        self.verify_hub = None
         if observability:
             from repro.obs import ObservabilityHub
 
             self.server_hub = ObservabilityHub(self.server_clock, machine=SERVER_ID)
             self.server_clock.set_span_listener(self.server_hub)
+            self.verify_hub = ObservabilityHub(self.verify_clock, machine=VERIFIER_ID)
+            self.verify_clock.set_span_listener(self.verify_hub)
         self.hosts: List[FleetHost] = []
         for index in range(num_machines):
             machine_id = f"client-{index:02d}"
@@ -199,6 +212,17 @@ class FlickerFleet:
         """Run ``generator`` as the server host's cooperative process."""
         return Process(self.scheduler, self.server_clock, generator, name=name)
 
+    def spawn_verifier(self, generator: Generator,
+                       name: str = VERIFIER_ID) -> Process:
+        """Run ``generator`` as the server's verification worker.
+
+        The worker has its own clock, so verification cost (RSA public
+        ops per attestation) accrues in parallel with the dispatch
+        process on :attr:`server_clock` — the server host never stalls
+        its scheduling decisions behind a slow verify.
+        """
+        return Process(self.scheduler, self.verify_clock, generator, name=name)
+
     def spawn(self, host: FleetHost, generator: Generator,
               name: Optional[str] = None) -> Process:
         """Run ``generator`` as a cooperative process on ``host``."""
@@ -218,6 +242,19 @@ class FlickerFleet:
         return host.link.deliver(SERVER_ID, host.machine_id, payload,
                                  host.mailbox.put,
                                  now_ms=self.server_clock.now())
+
+    def post_local(self, clock: ScheduledClock, mailbox: Mailbox, payload: Any):
+        """Same-host handoff between two server-side processes.
+
+        Unlike a network ``deliver`` there is no latency, but causality
+        still matters: the payload lands when the *sender's* local clock
+        reaches now, not at the (possibly earlier) global time the
+        sending process resumed at.
+        """
+        return self.scheduler.at(
+            clock.now(), lambda: mailbox.put(payload),
+            label=f"{clock.machine_id}:post",
+        )
 
     # -- running ---------------------------------------------------------------
 
@@ -241,12 +278,18 @@ class FlickerFleet:
                 net_messages=host.link.messages_carried,
                 net_bytes=host.link.bytes_carried,
             ))
+        # The server entry aggregates both server-side workers: the
+        # dispatch loop and the verification worker (whose clock is
+        # untouched — hence zero — when nothing spawns a verifier).
+        busy = self.server_clock.busy_ms + self.verify_clock.busy_ms
+        idle = self.server_clock.idle_ms + self.verify_clock.idle_ms
+        horizon = max(self.server_clock.now(), self.verify_clock.now())
         reports.append(MachineReport(
             machine_id=SERVER_ID,
             sessions=0,
-            busy_ms=self.server_clock.busy_ms,
-            idle_ms=self.server_clock.idle_ms,
-            utilization=self.server_clock.utilization,
+            busy_ms=busy,
+            idle_ms=idle,
+            utilization=busy / horizon if horizon > 0 else 0.0,
             net_messages=sum(h.link.messages_carried for h in self.hosts),
             net_bytes=sum(h.link.bytes_carried for h in self.hosts),
         ))
@@ -260,6 +303,8 @@ class FlickerFleet:
                 out[host.machine_id] = host.platform.obs
         if self.server_hub is not None:
             out[SERVER_ID] = self.server_hub
+        if self.verify_hub is not None and self.verify_hub.spans:
+            out[VERIFIER_ID] = self.verify_hub
         return out
 
     def traces(self) -> Dict[str, Any]:

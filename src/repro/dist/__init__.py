@@ -1,0 +1,57 @@
+"""The BOINC-grade work-distribution service (paper §5/§6.2 at scale).
+
+A :class:`~repro.dist.service.WorkDistributionService` runs a whole
+volunteer-computing project on a :class:`~repro.core.fleet.FlickerFleet`:
+batched work-unit generation into a deterministic
+:class:`~repro.dist.records.JobDatabase`, redundant issue of each unit to
+``k`` clients with quorum validation over *attested* outputs, per-unit
+timeout/resend state machines driven by scheduled events, and per-client
+reputation that adapts the redundancy (trusted clients drop to ``k=1``
+with periodic spot checks).
+
+The package mirrors the classic BOINC server component map — work
+generator, transitioner, scheduler resend logic, validator — collapsed
+onto the fleet's discrete-event schedule, with one Flicker twist: a
+result only counts toward quorum if its attestation verifies, so the
+quorum machinery defends against *input* substitution (a client that ran
+the PAL honestly on a doctored unit) while attestation alone already
+rules out forged outputs.
+
+See ``docs/DISTRIBUTED.md`` for the protocol, the unit state machine,
+and a runnable example.
+"""
+
+from repro.dist.client import BEHAVIOR_KINDS, ClientBehavior, parse_behaviors
+from repro.dist.quorum import QuorumDecision, QuorumPolicy, UnitQuorum
+from repro.dist.records import (
+    AssignmentRecord,
+    ClientRecord,
+    JobDatabase,
+    UnitRecord,
+)
+from repro.dist.reputation import ReputationBook, ReputationPolicy
+from repro.dist.service import (
+    DistReport,
+    JobSpec,
+    WorkDistributionService,
+    build_report,
+)
+
+__all__ = [
+    "AssignmentRecord",
+    "BEHAVIOR_KINDS",
+    "ClientBehavior",
+    "ClientRecord",
+    "DistReport",
+    "JobDatabase",
+    "JobSpec",
+    "QuorumDecision",
+    "QuorumPolicy",
+    "ReputationBook",
+    "ReputationPolicy",
+    "UnitQuorum",
+    "UnitRecord",
+    "WorkDistributionService",
+    "build_report",
+    "parse_behaviors",
+]

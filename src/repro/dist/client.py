@@ -1,0 +1,72 @@
+"""Client-side behaviors for the distribution service.
+
+Every client runs the real :class:`~repro.apps.distributed.BOINCClient`
+stack — Flicker sessions, sealed HMAC key, attested final state — but a
+behavior decides what reaches the server:
+
+``honest``
+    computes the assigned unit and returns the attested result.
+``lazy``
+    the *input-substitution* cheat: initializes the factoring state with
+    ``cursor == end``, so the PAL honestly attests an instantly-"done"
+    empty result.  The attestation **verifies** — execution integrity
+    holds — which is exactly why quorum redundancy still matters.
+``forge``
+    computes honestly but then doctors the claimed final state (an extra
+    fake factor).  The attested PCR chain no longer matches the claim,
+    so verification rejects it — forged results never reach quorum.
+``dropout``
+    accepts assignments and never responds (the timeout/resend path).
+``flaky``
+    computes honestly but responds ``delay_ms`` late — past the
+    deadline, the server ignores the result and has already re-issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+BEHAVIOR_KINDS = ("honest", "lazy", "forge", "dropout", "flaky")
+
+
+@dataclass(frozen=True)
+class ClientBehavior:
+    """How one client acts; ``delay_ms`` only matters for ``flaky``."""
+
+    kind: str = "honest"
+    delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in BEHAVIOR_KINDS:
+            raise ValueError(
+                f"unknown behavior {self.kind!r}; expected one of {BEHAVIOR_KINDS}"
+            )
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
+
+
+def parse_behaviors(spec: str) -> Dict[int, ClientBehavior]:
+    """Parse a CLI behavior spec into ``machine index → behavior``.
+
+    The spec is a comma list of ``INDEX:KIND`` (or ``INDEX:flaky:DELAY_MS``)
+    entries; unlisted machines stay honest::
+
+        >>> parse_behaviors("0:lazy,2:dropout,3:flaky:90000")[3].delay_ms
+        90000.0
+        >>> parse_behaviors("")
+        {}
+    """
+    behaviors: Dict[int, ClientBehavior] = {}
+    if not spec:
+        return behaviors
+    for entry in spec.split(","):
+        parts = entry.strip().split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"bad behavior entry {entry!r}; want INDEX:KIND")
+        index = int(parts[0])
+        if index in behaviors:
+            raise ValueError(f"machine {index} listed twice in {spec!r}")
+        delay = float(parts[2]) if len(parts) == 3 else 0.0
+        behaviors[index] = ClientBehavior(kind=parts[1], delay_ms=delay)
+    return behaviors

@@ -1,0 +1,131 @@
+"""Quorum validation over attested results.
+
+Only results whose Flicker attestation verified ever become *votes*
+(the service rejects the rest before they reach this module), so the
+quorum machinery defends against exactly one residual attack: a client
+that ran the PAL honestly on a *doctored unit* — e.g. initializing the
+factoring state with ``cursor == end`` so the PAL attests an honestly
+computed answer to the wrong question.  Attestation proves execution
+integrity, not input authenticity; redundancy restores the latter.
+
+The rules (see docs/DISTRIBUTED.md):
+
+* A unit validates when its vote target is met **unanimously**.
+* Any disagreement between attested results *flags* the unit: the
+  target escalates and the unit re-issues to clients that have not
+  touched it.  A first-round majority never wins outright — the
+  disagreeing minority might be the honest one.
+* A flagged unit validates once the escalated target is met (or the
+  client pool is exhausted) and one digest holds a strict plurality.
+  A persistent tie with no fresh clients left abandons the unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class QuorumPolicy:
+    """Redundancy knobs for one project."""
+
+    #: Vote target for units first assigned to an untrusted client.
+    base_quorum: int = 3
+    #: Vote target for trusted clients (1 = accept a single attested
+    #: result; see :mod:`repro.dist.reputation` for promotion rules).
+    trusted_quorum: int = 1
+    #: Extra votes demanded after each disagreement flag.
+    escalation: int = 2
+    #: Escalation rounds before a conflicted unit is abandoned.
+    max_rounds: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base_quorum < 1 or self.trusted_quorum < 1:
+            raise ValueError("quorum targets must be at least 1")
+        if self.escalation < 1:
+            raise ValueError("escalation must add at least one vote")
+
+
+@dataclass(frozen=True)
+class QuorumDecision:
+    """What the validator should do with a unit right now."""
+
+    outcome: str                  # "pending" | "validated" | "flag" | "abandon"
+    digest: str = ""              # winning digest when validated
+
+
+class UnitQuorum:
+    """Vote state for one unit across all its quorum rounds."""
+
+    def __init__(self, unit_id: str, target: int) -> None:
+        if target < 1:
+            raise ValueError("vote target must be at least 1")
+        self.unit_id = unit_id
+        #: Current vote target (escalates on flags).
+        self.target = target
+        #: The initial target, before any escalation.
+        self.initial_target = target
+        #: ``(client, digest)`` in verification order.
+        self.votes: List[Tuple[str, str]] = []
+        self.flagged = False
+        self.rounds = 1
+
+    # -- votes ------------------------------------------------------------------
+
+    def add_vote(self, client: str, digest: str) -> None:
+        self.votes.append((client, digest))
+
+    def tally(self) -> Dict[str, int]:
+        """digest → vote count, in first-seen order (deterministic)."""
+        counts: Dict[str, int] = {}
+        for _, digest in self.votes:
+            counts[digest] = counts.get(digest, 0) + 1
+        return counts
+
+    def voters_for(self, digest: str) -> List[str]:
+        return [client for client, d in self.votes if d == digest]
+
+    # -- escalation -------------------------------------------------------------
+
+    def escalate(self, policy: QuorumPolicy, pool_size: int) -> None:
+        """A disagreement flag: raise the target (clamped to the number
+        of clients that could ever vote) and open the next round."""
+        self.flagged = True
+        self.rounds += 1
+        self.target = min(self.target + policy.escalation, pool_size)
+
+    # -- the decision function --------------------------------------------------
+
+    def decide(self, policy: QuorumPolicy,
+               pool_exhausted: bool = False) -> QuorumDecision:
+        """Evaluate the unit after a new vote (or a dead assignment).
+
+        ``pool_exhausted`` means no further votes can ever arrive: no
+        assignment is in flight and every client has already touched the
+        unit (or timed out of it).
+        """
+        counts = self.tally()
+        votes = len(self.votes)
+        if not self.flagged:
+            if len(counts) > 1:
+                if self.rounds >= policy.max_rounds:
+                    return QuorumDecision("abandon")
+                return QuorumDecision("flag")
+            if counts and (votes >= self.target or pool_exhausted):
+                # Unanimous at target — or unanimous among every vote the
+                # shrunken pool could produce (timeouts ate the rest).
+                return QuorumDecision("validated", digest=self.votes[0][1])
+            if pool_exhausted:
+                return QuorumDecision("abandon")   # no votes at all
+            return QuorumDecision("pending")
+        # Flagged: plurality decides once the escalated target is met
+        # (or no more votes can come).
+        if votes < self.target and not pool_exhausted:
+            return QuorumDecision("pending")
+        ranked = sorted(counts.items(), key=lambda item: (-item[1],))
+        if len(ranked) == 1 or ranked[0][1] > ranked[1][1]:
+            return QuorumDecision("validated", digest=ranked[0][0])
+        if pool_exhausted or self.rounds >= policy.max_rounds:
+            return QuorumDecision("abandon")       # unresolvable tie
+        return QuorumDecision("flag")

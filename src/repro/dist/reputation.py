@@ -1,0 +1,75 @@
+"""Per-client reputation: adaptive redundancy with spot checks.
+
+Classic BOINC: a host that keeps returning valid results earns
+``k=1`` issue (no replication), with every Nth unit still replicated as
+a spot check; any invalid result, timeout, or lost quorum vote resets
+the host to full redundancy.  Deterministic by construction — counters
+only, no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.dist.quorum import QuorumPolicy
+
+
+@dataclass(frozen=True)
+class ReputationPolicy:
+    """Promotion/spot-check knobs."""
+
+    #: Consecutive valid results before a client is trusted.
+    promote_after: int = 3
+    #: Every Nth unit first-assigned to a trusted client is still issued
+    #: at full quorum (0 disables spot checks).
+    spot_check_every: int = 4
+
+    def __post_init__(self) -> None:
+        if self.promote_after < 1:
+            raise ValueError("promote_after must be at least 1")
+        if self.spot_check_every < 0:
+            raise ValueError("spot_check_every must be >= 0")
+
+
+class ReputationBook:
+    """The server's per-client trust state."""
+
+    def __init__(self, policy: ReputationPolicy = ReputationPolicy()) -> None:
+        self.policy = policy
+        self._streak: Dict[str, int] = {}
+        self._trusted_units: Dict[str, int] = {}
+
+    def streak(self, client: str) -> int:
+        """Current run of consecutive valid results."""
+        return self._streak.get(client, 0)
+
+    def is_trusted(self, client: str) -> bool:
+        return self.streak(client) >= self.policy.promote_after
+
+    def record_valid(self, client: str) -> None:
+        """A result of ``client`` ended on a validated unit's digest."""
+        self._streak[client] = self.streak(client) + 1
+
+    def record_slash(self, client: str) -> None:
+        """Any bad outcome — rejected result, timeout, session failure,
+        or an attested result outvoted by the winning digest — resets
+        the client to untrusted."""
+        self._streak[client] = 0
+
+    def quorum_for(self, client: str, quorum: QuorumPolicy) -> Tuple[int, bool]:
+        """``(vote target, is_spot_check)`` for a fresh unit whose first
+        assignment goes to ``client``.
+
+        Counts trusted assignments per client, so the spot-check cadence
+        is deterministic (every Nth trusted unit re-checks the client at
+        full quorum) — call exactly once per fresh unit.
+        """
+        if not self.is_trusted(client):
+            return quorum.base_quorum, False
+        count = self._trusted_units.get(client, 0) + 1
+        self._trusted_units[client] = count
+        every = self.policy.spot_check_every
+        if every and count % every == 0:
+            return quorum.base_quorum, True
+        return quorum.trusted_quorum, False

@@ -120,7 +120,8 @@ class TestFleetDeterminism:
         doc = json.loads(first)
         # One pid per machine (plus the legacy default track's metadata).
         pids = {e["pid"] for e in doc["traceEvents"]}
-        assert len(pids) == 4  # default, client-00, client-01, server
+        # default, client-00, client-01, server, server-verify
+        assert len(pids) == 5
 
     def test_jitter_changes_timings_but_stays_deterministic(self):
         def one_run(jitter):
@@ -129,6 +130,68 @@ class TestFleetDeterminism:
 
         assert one_run(2.0) == one_run(2.0)
         assert one_run(2.0)["makespan_ms"] != one_run(0.0)["makespan_ms"]
+
+
+class TestVerifyScheduling:
+    """The fix for inline verification stalling dispatch: attestation
+    checks run on the fleet's dedicated verification clock, so the
+    server dispatches a client's next unit the moment its result
+    arrives instead of after the verify completes."""
+
+    @staticmethod
+    def one_run(verify_mode, units_per_client=2):
+        fleet = FlickerFleet(num_machines=2, seed=2008)
+        project = FleetProject(
+            fleet, n=15015 * 1_000_003, units_per_client=units_per_client,
+            slice_ms=2000.0, range_per_unit=400, verify_mode=verify_mode,
+        )
+        return fleet, project.run()
+
+    def test_scheduled_is_the_default(self):
+        fleet = FlickerFleet(num_machines=1, seed=2008)
+        assert small_project(fleet).verify_mode == "scheduled"
+
+    def test_bad_mode_rejected(self):
+        fleet = FlickerFleet(num_machines=1, seed=2008)
+        with pytest.raises(ValueError):
+            FleetProject(fleet, n=15, verify_mode="eager")
+
+    def test_both_modes_accept_every_unit(self):
+        for mode in ("scheduled", "inline"):
+            _, report = self.one_run(mode)
+            assert report.units_accepted == 4
+            assert report.units_rejected == 0
+
+    def test_inline_verification_stalls_dispatch(self):
+        """The pinned timing difference: with verification inline on the
+        dispatch loop, each client's next unit waits behind the verify
+        of its previous result (3 RSA public ops), so the inline
+        makespan trails the scheduled one by at least one verify."""
+        from repro.sim.timing import DEFAULT_PROFILE
+
+        from repro.apps.distributed import VERIFY_PUBLIC_OPS
+
+        _, scheduled = self.one_run("scheduled")
+        _, inline = self.one_run("inline")
+        verify_ms = DEFAULT_PROFILE.host.rsa1024_public_op_ms * VERIFY_PUBLIC_OPS
+        assert inline.makespan_ms >= scheduled.makespan_ms + verify_ms
+
+    def test_scheduled_charges_verify_to_the_verify_clock(self):
+        fleet, report = self.one_run("scheduled")
+        assert fleet.verify_clock.busy_ms > 0.0
+        assert fleet.server_clock.busy_ms == 0.0  # dispatch does no verify work
+        # ...but the server's machine report still aggregates both.
+        assert fleet.machine_reports()[-1].busy_ms == fleet.verify_clock.busy_ms
+
+    def test_inline_keeps_legacy_accounting(self):
+        fleet, _ = self.one_run("inline")
+        assert fleet.verify_clock.busy_ms == 0.0
+        assert fleet.server_clock.busy_ms > 0.0
+
+    def test_scheduled_mode_deterministic(self):
+        a = json.dumps(self.one_run("scheduled")[1].to_dict(), sort_keys=True)
+        b = json.dumps(self.one_run("scheduled")[1].to_dict(), sort_keys=True)
+        assert a == b
 
 
 class TestPerMachineFaults:

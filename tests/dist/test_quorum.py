@@ -1,0 +1,146 @@
+"""The quorum decision function: unanimity, flags, escalation, ties."""
+
+import pytest
+
+from repro.dist.quorum import QuorumDecision, QuorumPolicy, UnitQuorum
+
+POLICY = QuorumPolicy(base_quorum=3, trusted_quorum=1, escalation=2,
+                      max_rounds=4)
+
+
+def quorum(target=3):
+    return UnitQuorum("u00000-test", target)
+
+
+class TestUnanimity:
+    def test_pending_until_target(self):
+        q = quorum(3)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d1")
+        assert q.decide(POLICY).outcome == "pending"
+
+    def test_unanimous_at_target_validates(self):
+        q = quorum(3)
+        for client in "abc":
+            q.add_vote(client, "d1")
+        decision = q.decide(POLICY)
+        assert decision == QuorumDecision("validated", digest="d1")
+
+    def test_single_vote_target_validates_immediately(self):
+        q = quorum(1)
+        q.add_vote("a", "d1")
+        assert q.decide(POLICY).outcome == "validated"
+
+
+class TestFlagging:
+    def test_any_disagreement_flags(self):
+        # 2-of-3 majority already in hand — still flags, never validates:
+        # the disagreeing minority might be the honest one.
+        q = quorum(3)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d1")
+        q.add_vote("c", "d2")
+        assert q.decide(POLICY).outcome == "flag"
+
+    def test_escalation_raises_target_and_round(self):
+        q = quorum(3)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d2")
+        q.escalate(POLICY, pool_size=10)
+        assert (q.target, q.rounds, q.flagged) == (5, 2, True)
+        assert q.initial_target == 3
+
+    def test_escalation_clamps_to_pool(self):
+        q = quorum(3)
+        q.escalate(POLICY, pool_size=4)
+        assert q.target == 4
+
+    def test_flagged_plurality_validates_at_target(self):
+        q = quorum(3)
+        for client, digest in (("a", "d1"), ("b", "d2"), ("c", "d1")):
+            q.add_vote(client, digest)
+        q.escalate(POLICY, pool_size=5)
+        q.add_vote("d", "d1")
+        q.add_vote("e", "d1")
+        decision = q.decide(POLICY)
+        assert decision == QuorumDecision("validated", digest="d1")
+
+    def test_flagged_pending_below_target(self):
+        q = quorum(3)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d2")
+        q.escalate(POLICY, pool_size=5)
+        assert q.decide(POLICY).outcome == "pending"
+
+
+class TestTies:
+    def test_tie_flags_again_while_clients_remain(self):
+        q = quorum(2)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d2")
+        q.escalate(POLICY, pool_size=4)
+        q.add_vote("c", "d1")
+        q.add_vote("d", "d2")
+        assert q.decide(POLICY).outcome == "flag"
+
+    def test_tie_with_pool_exhausted_abandons(self):
+        q = quorum(2)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d2")
+        q.escalate(POLICY, pool_size=2)
+        assert q.decide(POLICY, pool_exhausted=True).outcome == "abandon"
+
+    def test_tie_at_max_rounds_abandons(self):
+        q = quorum(2)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d2")
+        for _ in range(POLICY.max_rounds - 1):
+            q.escalate(POLICY, pool_size=2)
+        assert q.rounds == POLICY.max_rounds
+        assert q.decide(POLICY).outcome == "abandon"
+
+    def test_unflagged_conflict_at_max_rounds_abandons(self):
+        q = quorum(2)
+        q.rounds = POLICY.max_rounds
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d2")
+        assert q.decide(POLICY).outcome == "abandon"
+
+
+class TestPoolExhaustion:
+    def test_unanimous_short_count_validates_degraded(self):
+        # Timeouts ate the third voter; the surviving votes agree.
+        q = quorum(3)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d1")
+        assert q.decide(POLICY, pool_exhausted=True).outcome == "validated"
+
+    def test_no_votes_abandons(self):
+        q = quorum(3)
+        assert q.decide(POLICY, pool_exhausted=True).outcome == "abandon"
+
+    def test_flagged_plurality_validates_on_exhaustion(self):
+        q = quorum(2)
+        q.add_vote("a", "d1")
+        q.add_vote("b", "d2")
+        q.escalate(POLICY, pool_size=3)
+        q.add_vote("c", "d1")
+        decision = q.decide(POLICY, pool_exhausted=True)
+        assert decision == QuorumDecision("validated", digest="d1")
+
+
+class TestTally:
+    def test_tally_first_seen_order(self):
+        q = quorum(3)
+        for client, digest in (("a", "d2"), ("b", "d1"), ("c", "d2")):
+            q.add_vote(client, digest)
+        assert list(q.tally().items()) == [("d2", 2), ("d1", 1)]
+        assert q.voters_for("d2") == ["a", "c"]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            QuorumPolicy(base_quorum=0)
+        with pytest.raises(ValueError):
+            QuorumPolicy(escalation=0)
+        with pytest.raises(ValueError):
+            UnitQuorum("u", 0)

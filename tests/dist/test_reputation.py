@@ -1,0 +1,61 @@
+"""Reputation: promotion streaks, slashes, spot-check cadence."""
+
+import pytest
+
+from repro.dist.quorum import QuorumPolicy
+from repro.dist.reputation import ReputationBook, ReputationPolicy
+
+QUORUM = QuorumPolicy(base_quorum=3, trusted_quorum=1)
+
+
+class TestStreaks:
+    def test_promotion_after_streak(self):
+        book = ReputationBook(ReputationPolicy(promote_after=3))
+        for _ in range(2):
+            book.record_valid("c")
+        assert not book.is_trusted("c")
+        book.record_valid("c")
+        assert book.is_trusted("c")
+
+    def test_any_slash_resets(self):
+        book = ReputationBook(ReputationPolicy(promote_after=2))
+        book.record_valid("c")
+        book.record_valid("c")
+        assert book.is_trusted("c")
+        book.record_slash("c")
+        assert not book.is_trusted("c")
+        assert book.streak("c") == 0
+
+    def test_clients_are_independent(self):
+        book = ReputationBook(ReputationPolicy(promote_after=1))
+        book.record_valid("a")
+        assert book.is_trusted("a")
+        assert not book.is_trusted("b")
+
+
+class TestQuorumFor:
+    def trusted_book(self, spot_check_every=4):
+        book = ReputationBook(ReputationPolicy(
+            promote_after=1, spot_check_every=spot_check_every))
+        book.record_valid("c")
+        return book
+
+    def test_untrusted_gets_full_quorum(self):
+        book = ReputationBook()
+        assert book.quorum_for("c", QUORUM) == (3, False)
+
+    def test_trusted_gets_spot_checked_every_nth(self):
+        book = self.trusted_book(spot_check_every=4)
+        outcomes = [book.quorum_for("c", QUORUM) for _ in range(8)]
+        assert outcomes == [(1, False), (1, False), (1, False), (3, True)] * 2
+
+    def test_spot_checks_disabled(self):
+        book = self.trusted_book(spot_check_every=0)
+        assert all(book.quorum_for("c", QUORUM) == (1, False)
+                   for _ in range(6))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ReputationPolicy(promote_after=0)
+        with pytest.raises(ValueError):
+            ReputationPolicy(spot_check_every=-1)

@@ -82,7 +82,8 @@ def test_examples_execute(script, capsys):
 def test_architecture_and_observability_have_examples():
     """The pages this suite was built for must stay executable —
     an edit that deletes their examples should fail loudly, not skip."""
-    for name in ("ARCHITECTURE.md", "OBSERVABILITY.md", "BENCHMARKS.md"):
+    for name in ("ARCHITECTURE.md", "OBSERVABILITY.md", "BENCHMARKS.md",
+                 "DISTRIBUTED.md"):
         results = doctest.testfile(
             str(DOCS_DIR / name), module_relative=False,
             optionflags=OPTIONFLAGS, verbose=False)
