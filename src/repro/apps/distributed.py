@@ -592,12 +592,20 @@ class FleetProject:
         range_per_unit: int = 400,
         os_gap_ms: float = 0.0,
         verify_mode: str = "scheduled",
+        clients: Optional[int] = None,
     ) -> None:
         if verify_mode not in ("scheduled", "inline"):
             raise ValueError(
                 f"verify_mode must be 'scheduled' or 'inline', not {verify_mode!r}"
             )
+        if clients is not None and not 0 <= clients <= len(fleet.hosts):
+            raise ValueError("clients must be between 0 and the fleet size")
         self.fleet = fleet
+        #: How many client machines participate (the first ``clients``
+        #: hosts); ``None`` = the whole fleet.  A sparse workload on a
+        #: lazily materialized fleet only ever constructs the
+        #: participants — the idle majority of a 10k fleet stays unbuilt.
+        self.clients = clients
         self.server = BOINCServer(n=n, range_per_unit=range_per_unit)
         self.units_per_client = units_per_client
         self.slice_ms = slice_ms
@@ -656,8 +664,19 @@ class FleetProject:
         else:
             outcome.units_rejected += 1
 
+    def _participants(self):
+        """The participating client hosts (materializing them if the
+        fleet is lazy): the first :attr:`clients` hosts, or all."""
+        count = self.clients if self.clients is not None else len(self.fleet.hosts)
+        return [self.fleet.hosts[i] for i in range(count)]
+
+    @property
+    def _expected_units(self) -> int:
+        count = self.clients if self.clients is not None else len(self.fleet.hosts)
+        return count * self.units_per_client
+
     def _init_dispatch(self) -> None:
-        for host in self.fleet.hosts:
+        for host in self._participants():
             self._assigned[host.machine_id] = 0
             self._outcomes[host.machine_id] = FleetMachineOutcome(host.machine_id)
             self._dispatch(host)
@@ -666,7 +685,7 @@ class FleetProject:
         """Scheduled mode: forward results to the verification worker
         and dispatch the client's next unit *immediately* — a slow
         verify can no longer stall the whole fleet's dispatch."""
-        expected = len(self.fleet.hosts) * self.units_per_client
+        expected = self._expected_units
         self._init_dispatch()
         verified = 0
         while verified < expected:
@@ -683,7 +702,7 @@ class FleetProject:
     def _verifier_proc(self):
         """The verification worker: one check per returned unit, charged
         to the fleet's dedicated verification clock."""
-        expected = len(self.fleet.hosts) * self.units_per_client
+        expected = self._expected_units
         for _ in range(expected):
             message = yield self.fleet.verify_mailbox.receive()
             ok = self._verify(message, clock=self.fleet.verify_clock)
@@ -694,7 +713,7 @@ class FleetProject:
     def _server_proc_inline(self):
         """Legacy mode: verify on the dispatch loop, stalling the next
         dispatch behind every verification."""
-        expected = len(self.fleet.hosts) * self.units_per_client
+        expected = self._expected_units
         self._init_dispatch()
         received = 0
         while received < expected:
@@ -736,7 +755,7 @@ class FleetProject:
 
     def run(self) -> FleetProjectReport:
         """Spawn every process, drive the schedule dry, and report."""
-        for host in self.fleet.hosts:
+        for host in self._participants():
             self.fleet.spawn(host, self._client_proc(host))
         if self.verify_mode == "scheduled":
             self.fleet.spawn_server(self._server_proc())
@@ -755,15 +774,21 @@ class FleetProject:
 
     def _build_report(self) -> FleetProjectReport:
         per_machine: List[FleetMachineOutcome] = []
-        for host, stats in zip(self.fleet.hosts, self.fleet.machine_reports()):
+        # The last machine_reports row is the server aggregate; the rest
+        # are the clients, in index order.  Non-participants never ran
+        # (and, on a lazy fleet, were never built): their rows are zeros
+        # and their traces need not exist to know useful_ms is 0.
+        for stats in self.fleet.machine_reports()[:-1]:
             outcome = self._outcomes.get(
-                host.machine_id, FleetMachineOutcome(host.machine_id)
+                stats.machine_id, FleetMachineOutcome(stats.machine_id)
             )
             outcome.sessions = stats.sessions
             outcome.busy_ms = stats.busy_ms
             outcome.idle_ms = stats.idle_ms
             outcome.utilization = stats.utilization
-            outcome.useful_ms = self._useful_ms(host)
+            if stats.machine_id in self._assigned:
+                outcome.useful_ms = self._useful_ms(
+                    self.fleet.host(stats.machine_id))
             outcome.net_bytes = stats.net_bytes
             outcome.net_messages = stats.net_messages
             per_machine.append(outcome)

@@ -19,6 +19,8 @@ The package implements the paper's architecture (§4):
   Figure 2 timeline.
 * :mod:`repro.core.fleet` — many platforms on one discrete-event
   schedule (the §6.2 many-untrusted-hosts deployment).
+* :mod:`repro.core.template` — template-clone platform construction:
+  build one configuration, stamp out byte-identical machines cheaply.
 * :mod:`repro.core.attestation` — quote verification for remote parties.
 * :mod:`repro.core.sealed_storage` — PAL-to-PAL sealed storage with the
   Figure 4 replay-protection protocol.
@@ -34,6 +36,7 @@ from repro.core.slb import SLBImage, build_slb, expected_pcr17_after_launch
 from repro.core.flicker_module import FlickerModule
 from repro.core.fleet import FleetHost, FlickerFleet, MachineReport
 from repro.core.session import FlickerPlatform, SessionResult
+from repro.core.template import PlatformTemplate
 from repro.core.attestation import FlickerVerifier, Attestation, SENTINEL_MEASUREMENT
 from repro.core.sealed_storage import ReplayProtectedStorage
 from repro.core.secure_channel import SecureChannelClient, generate_channel_keypair
@@ -50,6 +53,7 @@ __all__ = [
     "expected_pcr17_after_launch",
     "FlickerModule",
     "FlickerPlatform",
+    "PlatformTemplate",
     "FlickerFleet",
     "FleetHost",
     "MachineReport",

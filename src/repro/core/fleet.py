@@ -31,7 +31,7 @@ that wake the receiving process.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, Iterator, List, Optional, Sequence
 
 from repro.core.attestation import FlickerVerifier
 from repro.core.session import FlickerPlatform, RetryPolicy
@@ -53,6 +53,48 @@ def derive_machine_seed(fleet_seed: int, index: int) -> int:
     """Deterministic per-machine platform seed (stable in ``index``:
     growing the fleet never reseeds existing machines)."""
     return DeterministicRNG(fleet_seed).fork(f"machine:{index}").randbits(48)
+
+
+def derive_group_seed(fleet_seed: int, index_base: int) -> int:
+    """Deterministic scheduler seed for a sharded machine group.
+
+    Group 0 keeps the fleet seed itself, so an unsharded fleet — every
+    committed baseline — is bit-for-bit unchanged; later groups get an
+    independent stream for their network jitter and scheduling noise.
+    """
+    if index_base == 0:
+        return fleet_seed
+    return DeterministicRNG(fleet_seed).fork(f"group:{index_base}").randbits(48)
+
+
+class _LazyHostSequence(Sequence):
+    """``fleet.hosts``: a list-like view over lazily materialized hosts.
+
+    ``len`` covers the whole fleet; indexing (or iterating, or zipping)
+    materializes the touched machines from the fleet's platform template.
+    Code that only touches a subset — a sparse workload on a 10k fleet —
+    never pays for the idle machines.
+    """
+
+    def __init__(self, fleet: "FlickerFleet") -> None:
+        self._fleet = fleet
+
+    def __len__(self) -> int:
+        return self._fleet.num_machines
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._fleet._materialize(i)
+                    for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("fleet host index out of range")
+        return self._fleet._materialize(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<fleet hosts: {self._fleet.materialized_count}"
+                f"/{len(self)} materialized>")
 
 
 @dataclass
@@ -121,15 +163,29 @@ class FlickerFleet:
         functional_rsa_bits: int = 512,
         tpm_key_bits: int = 512,
         retry_policy: RetryPolicy = RetryPolicy(),
+        index_base: int = 0,
     ) -> None:
         if num_machines < 1:
             raise ValueError("a fleet needs at least one machine")
         if machine_seeds is not None and len(machine_seeds) != num_machines:
             raise ValueError("machine_seeds must list one seed per machine")
+        if index_base < 0:
+            raise ValueError("index_base must be non-negative")
         self.seed = seed
         self.profile = profile
         self.observability = observability
-        self.scheduler = EventScheduler(seed=seed)
+        self.num_machines = num_machines
+        #: Global index of this fleet's first machine.  A sharded sweep
+        #: (:func:`repro.sim.parallel.shard_groups`) runs machine group
+        #: ``g`` as its own fleet with ``index_base = g * shard_size``;
+        #: machine ids and derived seeds use global indices, so the
+        #: union of the groups covers the same machines as one flat
+        #: fleet of ``shards * shard_size``.
+        self.index_base = index_base
+        self.jitter_ms = jitter_ms
+        self._machine_seeds = (list(machine_seeds)
+                               if machine_seeds is not None else None)
+        self.scheduler = EventScheduler(seed=derive_group_seed(seed, index_base))
         #: The verifier/server host's clock (it does no Flicker sessions,
         #: but verification work and dispatch decisions charge time here).
         self.server_clock = ScheduledClock(self.scheduler, machine_id=SERVER_ID)
@@ -148,52 +204,86 @@ class FlickerFleet:
             self.server_clock.set_span_listener(self.server_hub)
             self.verify_hub = ObservabilityHub(self.verify_clock, machine=VERIFIER_ID)
             self.verify_clock.set_span_listener(self.verify_hub)
-        self.hosts: List[FleetHost] = []
-        for index in range(num_machines):
-            machine_id = f"client-{index:02d}"
-            clock = ScheduledClock(self.scheduler, machine_id=machine_id)
-            platform_seed = (machine_seeds[index] if machine_seeds is not None
-                             else derive_machine_seed(seed, index))
-            platform = FlickerPlatform(
-                profile=profile,
-                seed=platform_seed,
-                functional_rsa_bits=functional_rsa_bits,
-                tpm_key_bits=tpm_key_bits,
-                retry_policy=retry_policy,
-                observability=observability,
-                clock=clock,
-                machine_id=machine_id,
-            )
-            link = NetworkLink(
-                clock,
-                platform.machine.trace,
-                one_way_ms=profile.host.network_one_way_ms,
-                hops=profile.host.network_hops,
-                scheduler=self.scheduler,
-                jitter_ms=jitter_ms,
-                rng=self.scheduler.rng(f"net:{machine_id}"),
-                name=f"{machine_id}<->{SERVER_ID}",
-            )
-            self.hosts.append(FleetHost(
-                machine_id=machine_id,
-                platform=platform,
-                clock=clock,
-                link=link,
-                mailbox=Mailbox(self.scheduler, name=machine_id),
-            ))
+        #: The shared platform template all machines clone from (the
+        #: template also owns the fleet-wide SLB image cache).
+        self.template = FlickerPlatform.template(
+            profile=profile,
+            seed=seed,
+            functional_rsa_bits=functional_rsa_bits,
+            tpm_key_bits=tpm_key_bits,
+            retry_policy=retry_policy,
+            observability=observability,
+        )
+        self._slots: List[Optional[FleetHost]] = [None] * num_machines
+        self._host_index: Dict[str, int] = {
+            self.machine_id_at(i): i for i in range(num_machines)
+        }
+        self.hosts: Sequence[FleetHost] = _LazyHostSequence(self)
         self._verifiers: Dict[str, FlickerVerifier] = {}
 
     # -- lookup ----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.hosts)
+        return self.num_machines
+
+    def machine_id_at(self, index: int) -> str:
+        """Machine id of the host at local ``index`` (global numbering:
+        a sharded group continues where the previous group stopped)."""
+        return f"client-{self.index_base + index:02d}"
+
+    @property
+    def materialized_count(self) -> int:
+        """How many machines have actually been constructed so far."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def materialized_hosts(self) -> Iterator[FleetHost]:
+        """The hosts constructed so far, in index order."""
+        return (slot for slot in self._slots if slot is not None)
+
+    def _materialize(self, index: int) -> FleetHost:
+        """Construct (or return) the host at ``index``.
+
+        Construction order does not affect byte-identity: each platform
+        seeds its own RNG tree, ``scheduler.rng(label)`` is stateless per
+        label, and the scheduler's clock registry carries no ordering.
+        """
+        host = self._slots[index]
+        if host is not None:
+            return host
+        machine_id = self.machine_id_at(index)
+        clock = ScheduledClock(self.scheduler, machine_id=machine_id)
+        platform_seed = (
+            self._machine_seeds[index] if self._machine_seeds is not None
+            else derive_machine_seed(self.seed, self.index_base + index))
+        platform = self.template.clone(
+            seed=platform_seed, machine_id=machine_id, clock=clock)
+        link = NetworkLink(
+            clock,
+            platform.machine.trace,
+            one_way_ms=self.profile.host.network_one_way_ms,
+            hops=self.profile.host.network_hops,
+            scheduler=self.scheduler,
+            jitter_ms=self.jitter_ms,
+            rng=self.scheduler.rng(f"net:{machine_id}"),
+            name=f"{machine_id}<->{SERVER_ID}",
+        )
+        host = FleetHost(
+            machine_id=machine_id,
+            platform=platform,
+            clock=clock,
+            link=link,
+            mailbox=Mailbox(self.scheduler, name=machine_id),
+        )
+        self._slots[index] = host
+        return host
 
     def host(self, machine_id: str) -> FleetHost:
-        """The client host with the given machine id."""
-        for host in self.hosts:
-            if host.machine_id == machine_id:
-                return host
-        raise KeyError(f"no fleet machine {machine_id!r}")
+        """The client host with the given machine id (O(1) lookup)."""
+        try:
+            index = self._host_index[machine_id]
+        except KeyError:
+            raise KeyError(f"no fleet machine {machine_id!r}") from None
+        return self._materialize(index)
 
     def verifier_for(self, machine_id: str) -> FlickerVerifier:
         """The server's verifier trusting ``machine_id``'s Privacy CA.
@@ -266,9 +356,26 @@ class FlickerFleet:
     # -- reporting -------------------------------------------------------------
 
     def machine_reports(self) -> List[MachineReport]:
-        """Per-machine activity summaries (clients, then the server)."""
+        """Per-machine activity summaries (clients, then the server).
+
+        Every machine gets a row.  A machine that was never materialized
+        never ran, so its row is all zeros — byte-identical to what its
+        untouched :class:`~repro.sim.sched.ScheduledClock` and idle link
+        would report, without paying to construct it.
+        """
         reports = []
-        for host in self.hosts:
+        for index, host in enumerate(self._slots):
+            if host is None:
+                reports.append(MachineReport(
+                    machine_id=self.machine_id_at(index),
+                    sessions=0,
+                    busy_ms=0.0,
+                    idle_ms=0.0,
+                    utilization=0.0,
+                    net_messages=0,
+                    net_bytes=0,
+                ))
+                continue
             reports.append(MachineReport(
                 machine_id=host.machine_id,
                 sessions=host.sessions_run(),
@@ -290,15 +397,17 @@ class FlickerFleet:
             busy_ms=busy,
             idle_ms=idle,
             utilization=busy / horizon if horizon > 0 else 0.0,
-            net_messages=sum(h.link.messages_carried for h in self.hosts),
-            net_bytes=sum(h.link.bytes_carried for h in self.hosts),
+            net_messages=sum(h.link.messages_carried
+                             for h in self.materialized_hosts()),
+            net_bytes=sum(h.link.bytes_carried
+                          for h in self.materialized_hosts()),
         ))
         return reports
 
     def hubs(self) -> Dict[str, Any]:
         """machine id → observability hub (for fleet Chrome export)."""
         out: Dict[str, Any] = {}
-        for host in self.hosts:
+        for host in self.materialized_hosts():
             if host.platform.obs is not None:
                 out[host.machine_id] = host.platform.obs
         if self.server_hub is not None:
@@ -308,6 +417,7 @@ class FlickerFleet:
         return out
 
     def traces(self) -> Dict[str, Any]:
-        """machine id → raw event trace (clients only; the server host
-        is pure software and has no machine trace)."""
-        return {host.machine_id: host.machine.trace for host in self.hosts}
+        """machine id → raw event trace (materialized clients only; the
+        server host is pure software and has no machine trace)."""
+        return {host.machine_id: host.machine.trace
+                for host in self.materialized_hosts()}

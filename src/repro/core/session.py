@@ -154,6 +154,22 @@ class FlickerPlatform:
         self._installed: Optional[SLBImage] = None
         self._last: Optional[SessionResult] = None
 
+    @classmethod
+    def template(cls, **config) -> "PlatformTemplate":
+        """A :class:`~repro.core.template.PlatformTemplate` for stamping
+        out many platforms of one configuration.
+
+        ``template(**config).clone(seed=s)`` is byte-identical to
+        ``FlickerPlatform(seed=s, **config)`` but amortizes key, kernel
+        image, and SLB construction across the clones — the fleet's
+        construction path.  Accepts the same keyword arguments as this
+        constructor except the per-machine ``clock`` / ``machine_id``
+        (those go to ``clone``).
+        """
+        from repro.core.template import PlatformTemplate
+
+        return PlatformTemplate(**config)
+
     @property
     def obs(self):
         """The machine's observability hub, or ``None`` when disabled."""

@@ -1,0 +1,106 @@
+"""Template-clone platform construction.
+
+Building a :class:`~repro.core.session.FlickerPlatform` from scratch is
+dominated by work that is either a pure function of the seed (RSA key
+generation, the kernel image) or seed-independent altogether (the unity
+page map, SLB images).  A :class:`PlatformTemplate` captures one platform
+*configuration* and stamps out clones that share every amortizable piece:
+
+* **Key state** — key generation is memoized on the RNG state that
+  produces it (:mod:`repro.crypto.rsa`), and enrolment is lazy, so a
+  clone re-derives its keys deterministically on first attestation and a
+  re-clone of a seen seed reuses them outright.
+* **Kernel image** — kernel text and the syscall table are memoized per
+  seed, and the direct unity map is shared across all machines
+  (:mod:`repro.osim.kernel`).
+* **SLB images** — clones share the template's image cache, so a PAL is
+  built once per fleet instead of once per machine.
+* **TPM state** — :meth:`repro.tpm.tpm.TPM.export_state` /
+  ``import_state`` snapshot PCR banks, NV, counters, and key state for
+  same-seed cloning and migration.
+
+A clone is **byte-identical** to a freshly constructed platform with the
+same arguments (pinned by ``tests/core/test_template.py``); the template
+only changes where the construction cost is paid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.session import FlickerPlatform, RetryPolicy
+from repro.core.slb import SLBImage
+from repro.sim.timing import DEFAULT_PROFILE, TimingProfile
+
+
+class PlatformTemplate:
+    """One platform configuration, cloneable into many machines.
+
+    Obtain one via :meth:`FlickerPlatform.template
+    <repro.core.session.FlickerPlatform.template>`; call :meth:`clone`
+    per machine.  The template is what a fleet shares: configuration,
+    the SLB image cache, and (through the module-level caches noted
+    above) every seed-keyed construction memo.
+    """
+
+    def __init__(
+        self,
+        profile: TimingProfile = DEFAULT_PROFILE,
+        seed: int = 2008,
+        functional_rsa_bits: int = 512,
+        tpm_key_bits: int = 512,
+        platform_label: str = "hp-dc5750",
+        multicore_isolation: bool = False,
+        launch: str = "svm",
+        retry_policy: RetryPolicy = RetryPolicy(),
+        observability: bool = False,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.functional_rsa_bits = functional_rsa_bits
+        self.tpm_key_bits = tpm_key_bits
+        self.platform_label = platform_label
+        self.multicore_isolation = multicore_isolation
+        self.launch = launch
+        self.retry_policy = retry_policy
+        self.observability = observability
+        #: SLB images shared by every clone (an image is a pure function
+        #: of the PAL, independent of the machine that runs it).
+        self._image_cache: Dict[Tuple[int, bool], SLBImage] = {}
+        #: Number of platforms cloned from this template so far.
+        self.clones_made = 0
+
+    def clone(
+        self,
+        seed: Optional[int] = None,
+        machine_id: Optional[str] = None,
+        clock=None,
+        eager_identity: bool = False,
+    ) -> FlickerPlatform:
+        """Construct a platform byte-identical to a fresh build.
+
+        ``seed`` defaults to the template's own seed.  ``clock`` attaches
+        the machine to a shared event schedule (fleets pass a
+        :class:`~repro.sim.sched.ScheduledClock`).  ``eager_identity``
+        forces AIK enrolment at construction time — the pre-template
+        behaviour, kept as the baseline the construction benchmark
+        measures the template path against.
+        """
+        platform = FlickerPlatform(
+            profile=self.profile,
+            seed=self.seed if seed is None else seed,
+            functional_rsa_bits=self.functional_rsa_bits,
+            tpm_key_bits=self.tpm_key_bits,
+            platform_label=self.platform_label,
+            multicore_isolation=self.multicore_isolation,
+            launch=self.launch,
+            retry_policy=self.retry_policy,
+            observability=self.observability,
+            clock=clock,
+            machine_id=machine_id,
+        )
+        platform._image_cache = self._image_cache
+        if eager_identity:
+            platform.tqd.aik_certificate  # noqa: B018 — forces enrolment
+        self.clones_made += 1
+        return platform

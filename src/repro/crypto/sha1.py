@@ -5,11 +5,17 @@ extend, every SLB measurement, and every event-log entry in this
 reproduction is a SHA-1 digest, exactly as in the paper.  (SHA-1's collision
 weaknesses post-date the paper's threat model; we reproduce the system as
 published.)
+
+The :class:`SHA1` class is the from-spec reference implementation; the
+one-shot :func:`sha1` and :func:`sha1_cached` helpers — which carry all
+of the fleet's measurement traffic — delegate to :mod:`hashlib`, pinned
+byte-equal to the reference by the test suite.
 """
 
 from __future__ import annotations
 
 import functools as _functools
+import hashlib as _hashlib
 import struct
 
 _H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
@@ -108,7 +114,7 @@ class SHA1:
 
 def sha1(data: bytes) -> bytes:
     """One-shot SHA-1 digest of ``data``."""
-    return SHA1(data).digest()
+    return _hashlib.sha1(data).digest()
 
 
 @_functools.lru_cache(maxsize=128)
@@ -118,7 +124,7 @@ def sha1_cached(data: bytes) -> bytes:
     The simulated platform measures the same 64-KB SLB image on every
     SKINIT; caching by content keeps the simulation honest (different
     bytes always produce a fresh digest) while avoiding redundant
-    pure-Python hashing.  Use plain :func:`sha1` for anything secret —
-    the cache retains references to its inputs.
+    hashing.  Use plain :func:`sha1` for anything secret — the cache
+    retains references to its inputs.
     """
-    return SHA1(data).digest()
+    return sha1(data)

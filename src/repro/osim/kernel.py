@@ -81,8 +81,21 @@ class PageTables:
 
     def map_unity(self, addr: int, length: int) -> None:
         """Add a unity (virtual == physical) mapping over a range."""
-        for page in range(addr // PAGE_SIZE, (addr + length - 1) // PAGE_SIZE + 1):
-            self.mapping[page] = page
+        pages = range(addr // PAGE_SIZE, (addr + length - 1) // PAGE_SIZE + 1)
+        self.mapping.update(zip(pages, pages))
+
+
+#: Memoized kernel images keyed by (rng state, text size): kernel text and
+#: the syscall table are pure functions of the ``kernel-text`` RNG stream,
+#: so rebuilding a machine with the same seed — every fleet sweep row,
+#: replay, and template clone — reuses the bytes instead of regenerating
+#: 64 KB of deterministic noise.
+_KERNEL_IMAGE_CACHE: Dict[Tuple[int, int], Tuple[bytes, bytes]] = {}
+_KERNEL_IMAGE_CACHE_MAX = 256
+
+#: One shared unity mapping per memory size: the kernel's direct map is
+#: seed-independent, so every machine starts from a copy of the same dict.
+_UNITY_MAP_CACHE: Dict[int, Dict[int, int]] = {}
 
 
 class UntrustedKernel:
@@ -100,20 +113,36 @@ class UntrustedKernel:
         self._hotplugged_aps: List[int] = []
 
         # Lay out deterministic kernel text and a syscall table whose
-        # entries point into it.
+        # entries point into it.  Both are pure functions of the forked
+        # RNG stream, so identical seeds reuse the memoized image.
         rng = machine.rng.fork("kernel-text")
-        self._pristine_text = rng.bytes(KERNEL_TEXT_BYTES)
+        cache_key = (rng.getstate(), KERNEL_TEXT_BYTES)
+        cached = _KERNEL_IMAGE_CACHE.get(cache_key)
+        if cached is None:
+            text = rng.bytes(KERNEL_TEXT_BYTES)
+            table = bytearray()
+            for i in range(SYSCALL_COUNT):
+                handler = KERNEL_TEXT_BASE + (
+                    rng.randint(0, KERNEL_TEXT_BYTES - 16) & ~0xF
+                )
+                table += handler.to_bytes(4, "little")
+            cached = (text, bytes(table))
+            if len(_KERNEL_IMAGE_CACHE) >= _KERNEL_IMAGE_CACHE_MAX:
+                _KERNEL_IMAGE_CACHE.clear()
+            _KERNEL_IMAGE_CACHE[cache_key] = cached
+        self._pristine_text, self._pristine_syscall_table = cached
         machine.memory.write(KERNEL_TEXT_BASE, self._pristine_text)
-        table = bytearray()
-        for i in range(SYSCALL_COUNT):
-            handler = KERNEL_TEXT_BASE + (rng.randint(0, KERNEL_TEXT_BYTES - 16) & ~0xF)
-            table += handler.to_bytes(4, "little")
-        self._pristine_syscall_table = bytes(table)
         machine.memory.write(SYSCALL_TABLE_BASE, self._pristine_syscall_table)
 
-        # Kernel page tables: a direct map of all physical memory.
-        self.page_tables = PageTables(root=0x0040_0000)
-        self.page_tables.map_unity(0, machine.memory.size_bytes)
+        # Kernel page tables: a direct map of all physical memory (the
+        # mapping is seed-independent — share one prototype per size).
+        size_bytes = machine.memory.size_bytes
+        unity = _UNITY_MAP_CACHE.get(size_bytes)
+        if unity is None:
+            prototype = PageTables(root=0)
+            prototype.map_unity(0, size_bytes)
+            unity = _UNITY_MAP_CACHE[size_bytes] = prototype.mapping
+        self.page_tables = PageTables(root=0x0040_0000, mapping=dict(unity))
         machine.cpu.bsp.cr3 = self.page_tables.root
         for core in machine.cpu.cores:
             core.cr3 = self.page_tables.root

@@ -53,12 +53,31 @@ class TPMQuoteDaemon:
     def __init__(self, kernel: UntrustedKernel, privacy_ca: PrivacyCA,
                  platform_label: str = "hp-dc5750") -> None:
         self.kernel = kernel
-        machine = kernel.machine
-        self.driver = OSTPMDriver(machine.os_tpm_interface(), nonce_seed=b"tqd")
-        privacy_ca.register_ek(machine.tpm.ek_public)
-        self.aik_certificate: AIKCertificate = privacy_ca.issue(
-            machine.tpm.aik_public, machine.tpm.ek_public, platform_label
+        self.driver = OSTPMDriver(
+            kernel.machine.os_tpm_interface(), nonce_seed=b"tqd"
         )
+        self._privacy_ca = privacy_ca
+        self._platform_label = platform_label
+        self._aik_certificate: AIKCertificate = None
+
+    @property
+    def aik_certificate(self) -> AIKCertificate:
+        """The platform's AIK certificate.
+
+        Enrolment — EK registration with the Privacy CA and AIK
+        certification, both of which force the expensive TPM key
+        generations — runs on first use, so constructing a daemon on a
+        machine that never attests costs nothing.  The keys themselves
+        come from RNG streams forked at TPM construction time, so the
+        certificate is byte-identical whenever enrolment happens.
+        """
+        if self._aik_certificate is None:
+            tpm = self.kernel.machine.tpm
+            self._privacy_ca.register_ek(tpm.ek_public)
+            self._aik_certificate = self._privacy_ca.issue(
+                tpm.aik_public, tpm.ek_public, self._platform_label
+            )
+        return self._aik_certificate
 
     def attest(self, nonce: bytes, pcr_indices: Iterable[int]) -> tuple:
         """Answer a challenge: returns (quote, aik_certificate)."""

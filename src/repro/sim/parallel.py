@@ -16,10 +16,33 @@ must be a module-level callable with picklable items.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def shard_groups(num_items: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Partition ``num_items`` into contiguous groups of ``shard_size``.
+
+    Returns ``(index_base, count)`` pairs covering ``0..num_items-1`` in
+    order; the last group absorbs the remainder.  This is the partition a
+    sharded fleet run uses: each group becomes its own
+    :class:`~repro.core.fleet.FlickerFleet` with ``index_base`` set, so
+    machine ids and derived seeds stay globally numbered.  The partition
+    depends only on ``shard_size`` — never on the worker count — so the
+    merged results are byte-identical no matter how the groups are
+    scheduled across processes.
+
+    >>> shard_groups(10, 4)
+    [(0, 4), (4, 4), (8, 2)]
+    """
+    if num_items < 1:
+        raise ValueError("num_items must be >= 1")
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    return [(base, min(shard_size, num_items - base))
+            for base in range(0, num_items, shard_size)]
 
 
 def resolve_workers(workers: Optional[int]) -> int:

@@ -40,14 +40,40 @@ class DeterministicRNG:
 
     # -- public API ----------------------------------------------------------
 
+    def getstate(self) -> int:
+        """Opaque snapshot of the generator state.
+
+        Together with :meth:`setstate` this supports snapshot/clone of
+        any component that owns an RNG: restoring a snapshot replays the
+        identical future stream.
+        """
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        """Restore a snapshot previously taken with :meth:`getstate`."""
+        self._state = state & _MASK64
+
+    def clone(self) -> "DeterministicRNG":
+        """Independent copy that emits the identical future stream."""
+        return DeterministicRNG(self._state)
+
     def bytes(self, n: int) -> bytes:
         """Return ``n`` pseudo-random bytes."""
         if n < 0:
             raise ValueError("cannot generate a negative number of bytes")
-        out = bytearray()
-        while len(out) < n:
-            out += self._next64().to_bytes(8, "big")
-        return bytes(out[:n])
+        # The SplitMix64 step is inlined (rather than calling _next64 per
+        # word): bulk byte generation — 64 KB of kernel text per machine —
+        # is construction's hot loop at fleet scale.
+        state = self._state
+        chunks = []
+        append = chunks.append
+        for _ in range((n + 7) // 8):
+            state = (state + 0x9E3779B97F4A7C15) & _MASK64
+            z = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+            append((z ^ (z >> 31)).to_bytes(8, "big"))
+        self._state = state
+        return b"".join(chunks)[:n]
 
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in the inclusive range [lo, hi]."""

@@ -38,7 +38,7 @@ class Event:
     heap entry is skipped when popped, which keeps cancellation O(1)).
     """
 
-    __slots__ = ("time_ms", "seq", "callback", "label", "cancelled")
+    __slots__ = ("time_ms", "seq", "callback", "label", "cancelled", "fired")
 
     def __init__(self, time_ms: float, seq: int,
                  callback: Callable[[], Any], label: str = "") -> None:
@@ -47,6 +47,7 @@ class Event:
         self.callback = callback
         self.label = label
         self.cancelled = False
+        self.fired = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time_ms, self.seq) < (other.time_ms, other.seq)
@@ -66,12 +67,20 @@ class EventScheduler:
     that is stable regardless of how many other consumers exist.
     """
 
+    #: Compact the heap when at least this many cancelled events are
+    #: buried in it...
+    COMPACT_MIN_CANCELLED = 64
+    #: ...and they make up at least this fraction of the heap.
+    COMPACT_FRACTION = 0.5
+
     def __init__(self, seed: int = 2008) -> None:
         self.seed = seed
         self._heap: List[Event] = []
         self._seq = 0
         self._now_ms = 0.0
         self._executed = 0
+        self._cancelled = 0
+        self._compactions = 0
         self._rng_root = DeterministicRNG(seed)
         #: Clocks registered via :meth:`register_clock` (one per machine).
         self.clocks: List = []
@@ -124,8 +133,40 @@ class EventScheduler:
         return self.at(self._now_ms + delay_ms, callback, label)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (no-op if it already fired)."""
+        """Cancel a pending event (no-op if it already fired).
+
+        Cancellation is O(1): the event is flagged and skipped when it
+        surfaces at the heap top.  Cancelled events buried *inside* the
+        heap are reclaimed by periodic compaction — once they are both
+        numerous (:attr:`COMPACT_MIN_CANCELLED`) and a large fraction of
+        the heap (:attr:`COMPACT_FRACTION`), the heap is rebuilt without
+        them.  Compaction cannot change execution order: pop order is the
+        total order ``(time_ms, seq)``, independent of heap layout.
+        """
+        if event.cancelled or event.fired:
+            return
         event.cancelled = True
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled >= self.COMPACT_FRACTION * len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted."""
+        return self._compactions
+
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled
 
     # -- execution -------------------------------------------------------------
 
@@ -137,6 +178,7 @@ class EventScheduler:
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
 
     def step(self) -> Optional[Event]:
         """Execute the next event; returns it, or ``None`` when idle."""
@@ -146,6 +188,7 @@ class EventScheduler:
         event = heapq.heappop(self._heap)
         self._now_ms = event.time_ms
         self._executed += 1
+        event.fired = True
         event.callback()
         return event
 

@@ -92,13 +92,16 @@ def run_dist(
     seed: int = 2008,
     observability: bool = False,
     n: int = DEFAULT_N,
+    index_base: int = 0,
 ):
     """Build fleet + service, install faults, run; returns
-    ``(service, report)``."""
+    ``(service, report)``.  ``index_base`` numbers the machines globally
+    (a sharded sweep runs each machine group as its own service)."""
     from repro.core.fleet import FlickerFleet
 
     fleet = FlickerFleet(num_machines=machines, seed=seed,
-                         observability=observability)
+                         observability=observability,
+                         index_base=index_base)
     plan = parse_faults(faults, seed=seed)
     for host in fleet.hosts:
         sub = plan.for_machine(host.machine_id)
@@ -130,18 +133,104 @@ def _sweep_cell(config: dict) -> dict:
     return cell
 
 
-def run_dist_sweep(configs, workers: int = 1):
+def merge_group_cells(groups: List[dict]) -> dict:
+    """Merge per-group report cells from one sharded distribution run.
+
+    Counters sum, the makespan is the slowest group's, and the three
+    rates are recomputed from merged totals.  ``db_sha1`` becomes the
+    digest of the concatenated group digests (in ``index_base`` order) —
+    still a replay-identity witness, now for the whole group set.
+    """
+    from repro.crypto.sha1 import sha1
+
+    if len(groups) == 1:
+        return groups[0]
+    merged = {"schema": groups[0].get("schema"), "shards": len(groups)}
+    for key in ("fleet_size", "total_units", "units_validated",
+                "units_abandoned", "units_unresolved", "units_flagged",
+                "assignments", "resends", "timeouts", "late", "failures",
+                "rejected_attestation", "rejected_state", "total_sessions",
+                "verify_count"):
+        merged[key] = sum(g[key] for g in groups)
+    merged["verify_busy_ms"] = round(sum(g["verify_busy_ms"]
+                                         for g in groups), 6)
+    merged["makespan_ms"] = max(g["makespan_ms"] for g in groups)
+    merged["max_verify_queue_depth"] = max(g["max_verify_queue_depth"]
+                                           for g in groups)
+    merged["resend_rate"] = round(
+        merged["resends"] / merged["assignments"]
+        if merged["assignments"] else 0.0, 6)
+    merged["sessions_per_virtual_second"] = round(
+        merged["total_sessions"] / (merged["makespan_ms"] / 1000.0)
+        if merged["makespan_ms"] > 0 else 0.0, 6)
+    merged["verify_throughput_per_vsec"] = round(
+        merged["verify_count"] / (merged["verify_busy_ms"] / 1000.0)
+        if merged["verify_busy_ms"] > 0 else 0.0, 6)
+    merged["found"] = sorted(set(f for g in groups for f in g["found"]))
+    merged["per_client"] = [c for g in groups for c in g["per_client"]]
+    merged["group_db_sha1"] = [g["db_sha1"] for g in groups]
+    merged["db_sha1"] = sha1(
+        "".join(g["db_sha1"] for g in groups).encode()).hex()
+    return merged
+
+
+def run_dist_sweep(configs, workers: int = 1,
+                   shard_size: Optional[int] = None):
     """Run many independent service simulations, optionally in parallel.
 
     Each config is a keyword dict for :func:`run_dist`.  One run is a
     single discrete-event schedule, but the sweep shards perfectly:
     ``workers > 1`` spreads the runs over a process pool and merges in
     config order, byte-identical to a serial sweep.
-    """
-    from repro.sim.parallel import map_seeded
 
-    return map_seeded(_sweep_cell, [dict(c) for c in configs],
-                      workers=workers)
+    ``shard_size`` additionally shards *within* a config: a fleet larger
+    than ``shard_size`` machines splits into contiguous machine groups
+    (:func:`repro.sim.parallel.shard_groups`), each with its own service
+    instance and a proportional share of the work units (an exact
+    partition — group shares always sum to the config's ``units``).
+    Groups whose share rounds to zero units are skipped; their machines
+    stay idle and are reported in the merged cell's ``machines_idle``.
+    The partition depends only on ``shard_size``, never the worker
+    count, so merged output is byte-identical at any worker count.
+    """
+    from repro.sim.parallel import map_seeded, shard_groups
+
+    configs = [dict(c) for c in configs]
+    cells: List[dict] = []
+    spans: List[int] = []
+    idle: List[int] = []
+    for config in configs:
+        machines = config.get("machines", 8)
+        if shard_size is None or machines <= shard_size:
+            cells.append(config)
+            spans.append(1)
+            idle.append(0)
+            continue
+        units = config.get("units", 32)
+        span = 0
+        skipped = 0
+        for base, count in shard_groups(machines, shard_size):
+            # Exact proportional split: cumulative-quota differencing.
+            share = (units * (base + count) // machines
+                     - units * base // machines)
+            if share == 0:
+                skipped += count
+                continue
+            cells.append({**config, "machines": count, "units": share,
+                          "index_base": base})
+            span += 1
+        spans.append(span)
+        idle.append(skipped)
+    results = map_seeded(_sweep_cell, cells, workers=workers)
+    merged: List[dict] = []
+    cursor = 0
+    for span, skipped in zip(spans, idle):
+        cell = merge_group_cells(results[cursor:cursor + span])
+        if skipped:
+            cell["machines_idle"] = skipped
+        merged.append(cell)
+        cursor += span
+    return merged
 
 
 def format_report(report) -> str:
@@ -212,11 +301,39 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--range-per-unit", type=int, default=400)
     parser.add_argument("--batch-size", type=int, default=16)
     parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="split fleets larger than this into machine "
+                             "groups, each its own service instance")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for sharded groups "
+                             "(0 = one per CPU)")
     parser.add_argument("--report", action="store_true")
     parser.add_argument("--json", metavar="PATH", default=None)
     parser.add_argument("--dump-db", metavar="PATH", default=None)
     parser.add_argument("--replay", metavar="PATH", default=None)
     args = parser.parse_args(argv)
+
+    if args.shard_size is not None and not args.replay:
+        import json
+
+        config = dict(
+            machines=args.machines, units=args.units, quorum=args.quorum,
+            trusted_quorum=args.trusted_quorum, behaviors=args.behaviors,
+            faults=args.faults, timeout_ms=args.timeout_ms,
+            slice_ms=args.slice_ms, range_per_unit=args.range_per_unit,
+            batch_size=args.batch_size, seed=args.seed,
+        )
+        [cell] = run_dist_sweep([config], workers=args.workers,
+                                shard_size=args.shard_size)
+        payload = json.dumps(cell, sort_keys=True,
+                             separators=(",", ": ")) + "\n"
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+            print(f"wrote JSON report to {args.json}")
+        else:
+            print(payload, end="")
+        return
 
     if args.replay:
         with open(args.replay) as fh:

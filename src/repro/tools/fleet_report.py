@@ -57,17 +57,26 @@ def run_fleet(
     jitter_ms: float = 0.0,
     observability: bool = False,
     n: int = DEFAULT_N,
+    index_base: int = 0,
+    clients: Optional[int] = None,
 ):
-    """Build the fleet, run the project; returns ``(fleet, report)``."""
+    """Build the fleet, run the project; returns ``(fleet, report)``.
+
+    ``index_base`` numbers this fleet's machines globally (a sharded
+    sweep runs each machine group as its own fleet); ``clients`` limits
+    participation to the first N machines of a lazily built fleet.
+    """
     fleet = FlickerFleet(
         num_machines=machines,
         seed=seed,
         jitter_ms=jitter_ms,
         observability=observability,
+        index_base=index_base,
     )
     project = FleetProject(
         fleet, n=n, units_per_client=units_per_client,
         slice_ms=slice_ms, range_per_unit=range_per_unit,
+        clients=clients,
     )
     return fleet, project.run()
 
@@ -79,7 +88,42 @@ def _sweep_cell(config: dict) -> dict:
     return report.to_dict()
 
 
-def run_fleet_sweep(configs, workers: int = 1):
+def merge_group_reports(groups: Sequence[dict]) -> dict:
+    """Merge per-group report dicts from one sharded fleet run.
+
+    Counters and times sum, the makespan is the slowest group's, and the
+    two rates are recomputed from the merged totals — every input is in
+    the group dicts, so the merge is exact, not an average of averages.
+    The groups arrive in ``index_base`` order (``map_seeded`` preserves
+    input order), which keeps the merged ``per_machine`` list — and the
+    whole dict — byte-identical at any worker count.
+    """
+    if len(groups) == 1:
+        return groups[0]
+    merged = {
+        "fleet_size": sum(g["fleet_size"] for g in groups),
+        "units_issued": sum(g["units_issued"] for g in groups),
+        "units_accepted": sum(g["units_accepted"] for g in groups),
+        "units_rejected": sum(g["units_rejected"] for g in groups),
+        "makespan_ms": max(g["makespan_ms"] for g in groups),
+        "total_sessions": sum(g["total_sessions"] for g in groups),
+        "total_busy_ms": round(sum(g["total_busy_ms"] for g in groups), 6),
+        "useful_ms": round(sum(g["useful_ms"] for g in groups), 6),
+        "network_bytes": sum(g["network_bytes"] for g in groups),
+        "network_messages": sum(g["network_messages"] for g in groups),
+        "per_machine": [m for g in groups for m in g["per_machine"]],
+        "shards": len(groups),
+    }
+    busy = merged["total_busy_ms"]
+    merged["efficiency"] = round(merged["useful_ms"] / busy if busy else 0.0, 6)
+    makespan = merged["makespan_ms"]
+    merged["sessions_per_virtual_second"] = round(
+        merged["total_sessions"] / (makespan / 1000.0) if makespan > 0 else 0.0,
+        6)
+    return merged
+
+
+def run_fleet_sweep(configs, workers: int = 1, shard_size: Optional[int] = None):
     """Run many independent fleet simulations, optionally in parallel.
 
     Each config is a keyword dict for :func:`run_fleet`.  A fleet run is
@@ -89,10 +133,46 @@ def run_fleet_sweep(configs, workers: int = 1):
     process pool and merge back in config order, so the list of report
     dicts is byte-identical to a serial sweep (``0`` = one worker per
     CPU).
-    """
-    from repro.sim.parallel import map_seeded
 
-    return map_seeded(_sweep_cell, [dict(c) for c in configs], workers=workers)
+    ``shard_size`` additionally shards *within* a config: a fleet larger
+    than ``shard_size`` machines is partitioned into contiguous machine
+    groups (:func:`repro.sim.parallel.shard_groups`), each group runs as
+    its own fleet cell — globally numbered via ``index_base``, so group
+    ``g`` simulates exactly the machines ``g*shard_size..`` of the flat
+    fleet — and the group reports merge via :func:`merge_group_reports`.
+    The partition depends only on ``shard_size``, so the merged output is
+    byte-identical at any worker count.  This is how the 10,000-machine
+    sweep runs: 10k machines never fit one schedule's working set, but
+    ~40 groups of 256 pipeline through a worker pool.
+    """
+    from repro.sim.parallel import map_seeded, shard_groups
+
+    configs = [dict(c) for c in configs]
+    cells: List[dict] = []
+    spans: List[int] = []  # cells per config, for the merge
+    for config in configs:
+        machines = config.get("machines", 4)
+        if shard_size is None or machines <= shard_size:
+            cells.append(config)
+            spans.append(1)
+            continue
+        groups = shard_groups(machines, shard_size)
+        clients = config.get("clients")
+        for base, count in groups:
+            cell = {**config, "machines": count, "index_base": base}
+            if clients is not None:
+                # Participation is global ("the first N machines"); each
+                # group gets its overlap with [0, clients).
+                cell["clients"] = max(0, min(clients, base + count) - base)
+            cells.append(cell)
+        spans.append(len(groups))
+    results = map_seeded(_sweep_cell, cells, workers=workers)
+    merged: List[dict] = []
+    cursor = 0
+    for span in spans:
+        merged.append(merge_group_reports(results[cursor:cursor + span]))
+        cursor += span
+    return merged
 
 
 def build_report(fleet: FlickerFleet, report: FleetProjectReport) -> str:

@@ -72,6 +72,21 @@ class PCRBank:
         if not 0 <= index < PCR_COUNT:
             raise TPMError(f"PCR index {index} out of range 0..{PCR_COUNT - 1}")
 
+    def export_values(self) -> List[bytes]:
+        """All PCR values in index order (snapshot/clone support)."""
+        return list(self._values)
+
+    def restore_values(self, values: List[bytes]) -> None:
+        """Install a full bank of values, bumping the generation counter
+        (the inverse of :meth:`export_values`)."""
+        if len(values) != PCR_COUNT:
+            raise TPMError(f"a PCR snapshot must hold {PCR_COUNT} values")
+        for value in values:
+            if len(value) != DIGEST_SIZE:
+                raise TPMError("PCR value must be 20 bytes")
+        self.generation += 1
+        self._values = [bytes(v) for v in values]
+
     def reboot(self) -> None:
         """Platform reset: static PCRs to 0, dynamic PCRs to −1."""
         self.generation += 1

@@ -209,6 +209,89 @@ class TPM:
         self._sessions.clear()
         self._invalidate_reads()
 
+    # -- snapshot / clone -------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Snapshot of all persistent TPM state.
+
+        Covers the PCR bank, NV spaces, monotonic counters, the key
+        hierarchy (generated keypairs plus the RNG streams of keys not
+        yet generated, so a restored TPM derives the *same* keys on
+        demand), the internal storage keys, ownership, and the command
+        RNG stream position.  Volatile authorization sessions are not
+        captured — restoring behaves like a platform reset, exactly as
+        migrating a TPM's NV state to new hardware would.  Together with
+        :meth:`import_state` this is the snapshot/clone protocol the
+        fleet's template construction and future vTPM migration build on.
+        """
+        return {
+            "pcr_values": self.pcrs.export_values(),
+            "keys": dict(self._keys),
+            "key_rng_states": {
+                name: child.getstate() for name, child in self._key_rngs.items()
+            },
+            "rng_state": self._rng.getstate(),
+            "jitter_rng_state": self._jitter_rng.getstate(),
+            "storage_key": self._storage_key,
+            "storage_mac_key": self._storage_mac_key,
+            "owner_auth": self._owner_auth,
+            "srk_auth": self.srk_auth,
+            "aik_auth": self.aik_auth,
+            "nv_spaces": {
+                index: NVSpace(
+                    index=space.index,
+                    size=space.size,
+                    read_pcr_policy=(dict(space.read_pcr_policy)
+                                     if space.read_pcr_policy else None),
+                    write_pcr_policy=(dict(space.write_pcr_policy)
+                                      if space.write_pcr_policy else None),
+                    data=space.data,
+                    written=space.written,
+                )
+                for index, space in self._nv_spaces.items()
+            },
+            "counters": {
+                cid: MonotonicCounter(counter_id=c.counter_id,
+                                      label=c.label, value=c.value)
+                for cid, c in self._counters.items()
+            },
+            "next_counter_id": self._next_counter_id,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot taken with :meth:`export_state`."""
+        self.pcrs.restore_values(state["pcr_values"])
+        self._keys = dict(state["keys"])
+        for name, rng_state in state["key_rng_states"].items():
+            self._key_rngs[name].setstate(rng_state)
+        self._rng.setstate(state["rng_state"])
+        self._jitter_rng.setstate(state["jitter_rng_state"])
+        self._storage_key = state["storage_key"]
+        self._storage_mac_key = state["storage_mac_key"]
+        self._owner_auth = state["owner_auth"]
+        self.srk_auth = state["srk_auth"]
+        self.aik_auth = state["aik_auth"]
+        # Copy mutable records so one snapshot can seed many TPMs.
+        self._nv_spaces = {
+            index: NVSpace(
+                index=space.index, size=space.size,
+                read_pcr_policy=(dict(space.read_pcr_policy)
+                                 if space.read_pcr_policy else None),
+                write_pcr_policy=(dict(space.write_pcr_policy)
+                                  if space.write_pcr_policy else None),
+                data=space.data, written=space.written,
+            )
+            for index, space in state["nv_spaces"].items()
+        }
+        self._counters = {
+            cid: MonotonicCounter(counter_id=c.counter_id,
+                                  label=c.label, value=c.value)
+            for cid, c in state["counters"].items()
+        }
+        self._next_counter_id = state["next_counter_id"]
+        self._sessions.clear()
+        self._invalidate_reads()
+
     # -- ownership ------------------------------------------------------------
 
     def take_ownership(self, owner_auth: bytes) -> None:

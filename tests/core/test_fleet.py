@@ -229,3 +229,95 @@ class TestPerMachineFaults:
         rebuilt = FaultPlan.from_dict(plan.to_dict())
         assert rebuilt == plan
         assert rebuilt.specs[0].machine == "client-03"
+
+
+class TestLazyMaterialization:
+    def test_construction_materializes_nothing(self):
+        fleet = FlickerFleet(num_machines=50, seed=2008)
+        assert fleet.materialized_count == 0
+        assert len(fleet) == 50
+        assert len(fleet.hosts) == 50
+        assert fleet.materialized_count == 0
+
+    def test_host_lookup_materializes_exactly_one(self):
+        fleet = FlickerFleet(num_machines=50, seed=2008)
+        host = fleet.host("client-07")
+        assert fleet.materialized_count == 1
+        # Indexing hands back the same slot — no re-materialization.
+        assert host is fleet.hosts[7]
+        assert fleet.materialized_count == 1
+
+    def test_unknown_machine_raises_without_materializing(self):
+        fleet = FlickerFleet(num_machines=10, seed=2008)
+        with pytest.raises(KeyError):
+            fleet.host("client-99")
+        assert fleet.materialized_count == 0
+
+    def test_negative_index_and_slice_views(self):
+        fleet = FlickerFleet(num_machines=10, seed=2008)
+        tail = fleet.hosts[-1]
+        assert tail.machine_id == "client-09"
+        window = fleet.hosts[2:4]
+        assert [h.machine_id for h in window] == ["client-02", "client-03"]
+        assert fleet.materialized_count == 3
+
+    def test_machine_reports_cover_unmaterialized_rows(self):
+        fleet = FlickerFleet(num_machines=5, seed=2008)
+        fleet.host("client-02")
+        rows = fleet.machine_reports()
+        assert [r.machine_id for r in rows] == [
+            f"client-{i:02d}" for i in range(5)
+        ] + [SERVER_ID]
+        for row in rows[:-1]:
+            if row.machine_id != "client-02":
+                assert row.sessions == 0
+                assert row.busy_ms == 0.0
+                assert row.net_bytes == 0
+
+    def test_out_of_order_materialization_is_order_independent(self):
+        a = FlickerFleet(num_machines=8, seed=77)
+        b = FlickerFleet(num_machines=8, seed=77)
+        order = [5, 1, 7, 0]
+        for i in order:
+            a.hosts[i].platform.tqd.aik_certificate  # noqa: B018
+        for i in sorted(order):
+            b.hosts[i].platform.tqd.aik_certificate  # noqa: B018
+        for i in order:
+            assert (a.hosts[i].platform.tqd.aik_certificate.aik_public.n
+                    == b.hosts[i].platform.tqd.aik_certificate.aik_public.n)
+
+    def test_sparse_project_materializes_only_participants(self):
+        fleet = FlickerFleet(num_machines=40, seed=2008)
+        project = FleetProject(
+            fleet, n=15015 * 1_000_003, units_per_client=1,
+            slice_ms=2000.0, range_per_unit=400, clients=3,
+        )
+        report = project.run()
+        assert report.units_accepted == 3
+        assert fleet.materialized_count == 3
+        assert report.fleet_size == 40
+        assert len(report.per_machine) == 40
+        active = {m.machine_id for m in report.per_machine if m.sessions > 0}
+        assert active == {"client-00", "client-01", "client-02"}
+
+
+class TestIndexBase:
+    def test_ids_and_seeds_shift_by_base(self):
+        group = FlickerFleet(num_machines=4, seed=123, index_base=8)
+        assert group.machine_id_at(0) == "client-08"
+        assert [h.machine_id for h in group.hosts] == [
+            "client-08", "client-09", "client-10", "client-11"
+        ]
+
+    def test_group_machines_match_whole_fleet_machines(self):
+        """Machine index_base+i of a shard group is *the same machine*
+        (same derived seed, hence same keys) as machine index_base+i of
+        the undivided fleet — the invariant sharded sweeps rely on."""
+        whole = FlickerFleet(num_machines=12, seed=123)
+        group = FlickerFleet(num_machines=4, seed=123, index_base=8)
+        assert (group.hosts[0].platform.tqd.aik_certificate.aik_public.n
+                == whole.hosts[8].platform.tqd.aik_certificate.aik_public.n)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            FlickerFleet(num_machines=2, seed=1, index_base=-1)

@@ -1,0 +1,168 @@
+"""Template-clone platform construction: a clone must be byte-identical
+to a fresh build — sessions, traces, attestations — while amortizing the
+expensive construction work (keygen, kernel image, SLB builds)."""
+
+import pytest
+
+from repro.core import PAL, FlickerPlatform, PlatformTemplate
+
+
+class EchoPAL(PAL):
+    name = "echo"
+    modules = ()
+
+    def run(self, ctx):
+        ctx.write_output(b"echo:" + ctx.inputs)
+
+
+NONCE = b"\x5a" * 20
+
+
+def run_workload(platform):
+    """One session + attestation; returns everything observable."""
+    session = platform.execute_pal(EchoPAL(), inputs=b"payload", nonce=NONCE)
+    attestation = platform.attest(NONCE, session)
+    report = platform.verifier().verify(attestation, session.image, NONCE)
+    return session, attestation, report
+
+
+def trace_lines(platform):
+    return [str(event) for event in platform.machine.trace]
+
+
+class TestCloneByteIdentity:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        fresh = FlickerPlatform(seed=31337)
+        template = FlickerPlatform.template()
+        clone = template.clone(seed=31337)
+        fresh_out = run_workload(fresh)
+        clone_out = run_workload(clone)
+        return fresh, clone, fresh_out, clone_out
+
+    def test_sessions_identical(self, pair):
+        _, _, (fresh, _, _), (clone, _, _) = pair
+        assert clone.outputs == fresh.outputs
+        assert clone.event_log == fresh.event_log
+        assert clone.phase_ms == fresh.phase_ms
+        assert clone.total_ms == fresh.total_ms
+        assert clone.tpm_ms == fresh.tpm_ms
+        assert (clone.image.skinit_measurement
+                == fresh.image.skinit_measurement)
+
+    def test_attestations_identical(self, pair):
+        _, _, (_, fresh, _), (_, clone, _) = pair
+        assert clone.quote == fresh.quote
+        assert (clone.aik_certificate.aik_public.n
+                == fresh.aik_certificate.aik_public.n)
+        assert clone.event_log == fresh.event_log
+
+    def test_attestations_verify(self, pair):
+        _, _, (_, _, fresh), (_, _, clone) = pair
+        assert fresh.ok and clone.ok
+
+    def test_traces_identical(self, pair):
+        fresh, clone, _, _ = pair
+        assert trace_lines(clone) == trace_lines(fresh)
+
+    def test_eager_identity_clone_matches_lazy(self):
+        template = FlickerPlatform.template()
+        lazy = template.clone(seed=555)
+        eager = template.clone(seed=555, eager_identity=True)
+        lazy_out = run_workload(lazy)
+        eager_out = run_workload(eager)
+        assert lazy_out[0].outputs == eager_out[0].outputs
+        assert lazy_out[1].quote == eager_out[1].quote
+        assert trace_lines(lazy) == trace_lines(eager)
+
+
+class TestTemplateAmortization:
+    def test_clones_share_the_image_cache(self):
+        template = FlickerPlatform.template()
+        a = template.clone(seed=1000)
+        b = template.clone(seed=1001)
+        assert a._image_cache is b._image_cache
+        pal = EchoPAL()
+        a.execute_pal(pal, inputs=b"x")
+        # The second machine reuses the SLB image built by the first.
+        assert len(b._image_cache) == 1
+        b.execute_pal(pal, inputs=b"x")
+        assert len(b._image_cache) == 1
+
+    def test_clones_made_counter(self):
+        template = PlatformTemplate()
+        assert template.clones_made == 0
+        template.clone(seed=1)
+        template.clone(seed=2)
+        assert template.clones_made == 2
+
+    def test_template_classmethod_carries_config(self):
+        template = FlickerPlatform.template(functional_rsa_bits=512,
+                                            platform_label="test-host")
+        assert template.platform_label == "test-host"
+        clone = template.clone(seed=7)
+        assert clone.tqd.aik_certificate.platform_label == "test-host"
+
+    def test_same_seed_clones_share_key_material_values(self):
+        """Key derivation is a pure function of the seed: two clones of
+        one seed produce equal keys (via the keygen memo — no second
+        prime search), while distinct seeds produce distinct keys."""
+        template = FlickerPlatform.template()
+        a = template.clone(seed=42)
+        b = template.clone(seed=42)
+        c = template.clone(seed=43)
+        assert (a.tqd.aik_certificate.aik_public.n
+                == b.tqd.aik_certificate.aik_public.n)
+        assert (a.tqd.aik_certificate.aik_public.n
+                != c.tqd.aik_certificate.aik_public.n)
+
+
+class TestTPMSnapshot:
+    """The TPM half of the clone protocol: PCR banks, NV, counters, and
+    key state snapshot and restore."""
+
+    def test_round_trip_restores_pcrs_and_counters(self):
+        from repro.tpm.nvram import MonotonicCounter
+
+        platform = FlickerPlatform(seed=77)
+        tpm = platform.machine.tpm
+        platform.execute_pal(EchoPAL(), inputs=b"x")  # extends PCR 17
+        tpm._counters[1] = MonotonicCounter(counter_id=1, label=b"snap",
+                                            value=1)
+        snapshot = tpm.export_state()
+        pcr17 = tpm.pcrs.read(17)
+
+        platform.execute_pal(EchoPAL(), inputs=b"y")
+        tpm._counters[1].value += 1
+        assert tpm._counters[1].value == 2
+
+        tpm.import_state(snapshot)
+        assert tpm.pcrs.read(17) == pcr17
+        assert tpm._counters[1].value == 1
+
+    def test_snapshot_seeds_many_tpms_independently(self):
+        """One snapshot imports into several TPMs without aliasing:
+        mutating one restored TPM never leaks into another."""
+        from repro.tpm.nvram import MonotonicCounter
+
+        a = FlickerPlatform(seed=88)
+        b = FlickerPlatform(seed=89)
+        tpm_a, tpm_b = a.machine.tpm, b.machine.tpm
+        tpm_a._counters[1] = MonotonicCounter(counter_id=1, label=b"shared",
+                                              value=0)
+        snapshot = tpm_a.export_state()
+
+        tpm_b.import_state(snapshot)
+        tpm_b._counters[1].value += 1
+        assert tpm_b._counters[1].value == 1
+        assert tpm_a._counters[1].value == 0
+
+    def test_restored_platform_still_attests(self):
+        platform = FlickerPlatform(seed=99)
+        tpm = platform.machine.tpm
+        session = platform.execute_pal(EchoPAL(), inputs=b"z", nonce=NONCE)
+        snapshot = tpm.export_state()
+        tpm.import_state(snapshot)
+        attestation = platform.attest(NONCE, session)
+        report = platform.verifier().verify(attestation, session.image, NONCE)
+        assert report.ok

@@ -11,6 +11,7 @@ from repro.crypto.mpi import (
     is_probable_prime,
     mod_inverse,
     mod_pow,
+    mod_pow_reference,
 )
 from repro.crypto.pkcs1 import (
     pkcs1_decrypt,
@@ -38,6 +39,24 @@ class TestMPI:
             mod_pow(2, 3, 0)
         with pytest.raises(ReproError):
             mod_pow(2, -1, 5)
+
+    def test_mod_pow_reference_agrees_with_fast_path(self):
+        """The spelled-out square-and-multiply is pinned equal to the
+        ``pow``-backed fast path across edge cases and wide operands."""
+        cases = [
+            (0, 0, 1), (7, 0, 1), (2, 10, 1), (0, 5, 7), (5, 0, 7),
+            (2, 10, 1000), (12345, 6789, 99991),
+            (2**64 + 1, 2**32 + 5, 2**61 - 1),
+            (3, 2**16 + 1, (2**89 - 1) * (2**107 - 1)),
+        ]
+        for base, exp, mod in cases:
+            assert mod_pow_reference(base, exp, mod) == mod_pow(base, exp, mod)
+
+    def test_mod_pow_reference_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            mod_pow_reference(2, 3, 0)
+        with pytest.raises(ReproError):
+            mod_pow_reference(2, -1, 5)
 
     def test_gcd(self):
         assert gcd(12, 18) == 6

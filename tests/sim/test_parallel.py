@@ -50,3 +50,31 @@ class TestMapSeeded:
     def test_parallel_preserves_input_order(self):
         items = [5, 3, 8, 1, 9, 2]
         assert map_seeded(square, items, workers=2) == [square(i) for i in items]
+
+
+class TestShardGroups:
+    def test_even_split(self):
+        from repro.sim.parallel import shard_groups
+        assert shard_groups(8, 4) == [(0, 4), (4, 4)]
+
+    def test_ragged_tail(self):
+        from repro.sim.parallel import shard_groups
+        assert shard_groups(10, 4) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_single_group_when_shard_covers(self):
+        from repro.sim.parallel import shard_groups
+        assert shard_groups(3, 100) == [(0, 3)]
+
+    def test_groups_cover_exactly_once(self):
+        from repro.sim.parallel import shard_groups
+        groups = shard_groups(10_000, 256)
+        covered = [i for base, count in groups
+                   for i in range(base, base + count)]
+        assert covered == list(range(10_000))
+
+    def test_invalid_arguments_rejected(self):
+        from repro.sim.parallel import shard_groups
+        with pytest.raises(ValueError):
+            shard_groups(-1, 4)
+        with pytest.raises(ValueError):
+            shard_groups(10, 0)

@@ -1,0 +1,107 @@
+"""Event-queue hygiene: cancelled-event accounting and periodic heap
+compaction.
+
+A long-lived fleet scheduler cancels far more timers than it fires
+(retry timers that a prompt reply makes moot, timeouts raced by
+responses).  The heap must shed those tombstones — without ever
+perturbing execution order, which the ``(time_ms, seq)`` total order
+guarantees across any heapify."""
+
+from repro.sim.sched.events import EventScheduler
+
+
+def noop():
+    pass
+
+
+class TestCancelAccounting:
+    def test_pending_events_excludes_cancelled(self):
+        sched = EventScheduler(seed=1)
+        events = [sched.at(float(i), noop) for i in range(10)]
+        assert sched.pending_events == 10
+        for event in events[:4]:
+            sched.cancel(event)
+        assert sched.pending_events == 6
+
+    def test_double_cancel_counts_once(self):
+        sched = EventScheduler(seed=1)
+        event = sched.at(1.0, noop)
+        sched.at(2.0, noop)
+        sched.cancel(event)
+        sched.cancel(event)
+        assert sched.pending_events == 1
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sched = EventScheduler(seed=1)
+        event = sched.at(1.0, noop)
+        sched.at(2.0, noop)
+        sched.run()
+        before = sched.pending_events
+        sched.cancel(event)
+        assert sched.pending_events == before
+
+
+class TestCompaction:
+    def test_compaction_triggers_at_threshold(self):
+        sched = EventScheduler(seed=1)
+        # 65 live + 128 doomed: cancelling 128 crosses both the absolute
+        # floor (64) and the 50% fraction.
+        live = [sched.at(1000.0 + i, noop) for i in range(65)]
+        doomed = [sched.at(float(i), noop) for i in range(128)]
+        assert sched.compactions == 0
+        for event in doomed:
+            sched.cancel(event)
+        assert sched.compactions >= 1
+        # The rebuild shed the tombstones cancelled before it fired (later
+        # cancels re-accumulate until the next threshold crossing).
+        assert len(sched._heap) < len(live) + len(doomed)
+        assert sched.pending_events == len(live)
+
+    def test_no_compaction_below_absolute_floor(self):
+        sched = EventScheduler(seed=1)
+        doomed = [sched.at(float(i), noop) for i in range(20)]
+        for event in doomed:
+            sched.cancel(event)
+        # 100% cancelled but under COMPACT_MIN_CANCELLED: no rebuild.
+        assert sched.compactions == 0
+
+    def test_no_compaction_below_fraction(self):
+        sched = EventScheduler(seed=1)
+        [sched.at(1000.0 + i, noop) for i in range(1000)]
+        doomed = [sched.at(float(i), noop) for i in range(70)]
+        for event in doomed:
+            sched.cancel(event)
+        # 70 cancelled is over the floor but well under half the heap.
+        assert sched.compactions == 0
+        assert sched.pending_events == 1000
+
+    def test_execution_order_survives_compaction(self):
+        """Interleave cancels (forcing a compaction) with live timers and
+        check the firing order is byte-identical to a scheduler that
+        never saw the cancelled events at all."""
+        def run(with_cancels):
+            sched = EventScheduler(seed=9)
+            log = []
+            for i in range(100):
+                sched.at(float(i), lambda i=i: log.append(i))
+            if with_cancels:
+                doomed = [sched.at(float(i) + 0.5, noop) for i in range(200)]
+                for event in doomed:
+                    sched.cancel(event)
+                assert sched.compactions >= 1
+            sched.run()
+            return log
+
+        assert run(with_cancels=True) == run(with_cancels=False)
+
+    def test_popping_cancelled_events_decrements_counter(self):
+        sched = EventScheduler(seed=1)
+        doomed = [sched.at(float(i), noop) for i in range(40)]
+        [sched.at(100.0 + i, noop) for i in range(5)]
+        for event in doomed:
+            sched.cancel(event)
+        assert sched.compactions == 0  # under the absolute floor
+        sched.run()
+        # All tombstones were dropped at pop time, not left miscounted.
+        assert sched.pending_events == 0
+        assert len(sched._heap) == 0
