@@ -67,6 +67,7 @@ TCB_FORBIDDEN_PREFIXES = (
     "repro.obs",
     "repro.osim",
     "repro.tools",
+    "repro.vtpm",
 )
 
 

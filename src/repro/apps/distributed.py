@@ -217,12 +217,17 @@ class BOINCClient:
         self.platform = platform
         self.pal = pal or DistributedPAL()
 
-    def start_unit(self, unit: FactoringWorkUnit) -> ClientProgress:
-        """First invocation: key generation + sealed state bootstrap."""
+    def start_unit(self, unit: FactoringWorkUnit,
+                   tenant: Optional[str] = None) -> ClientProgress:
+        """First invocation: key generation + sealed state bootstrap.
+
+        Pass ``tenant`` to run the session on behalf of a vTPM tenant
+        (multi-tenant hosts; see :mod:`repro.vtpm`)."""
         state = FactoringState(
             unit_id=unit.unit_id, n=unit.n, cursor=unit.start, end=unit.end
         )
-        result = self.platform.execute_pal(self.pal, inputs=_encode_init(state))
+        result = self.platform.execute_pal(self.pal, inputs=_encode_init(state),
+                                           tenant=tenant)
         return self._parse_init_output(result)
 
     @staticmethod
@@ -241,10 +246,12 @@ class BOINCClient:
         progress: ClientProgress,
         slice_ms: float,
         nonce: bytes = b"\x00" * 20,
+        tenant: Optional[str] = None,
     ) -> Tuple[ClientProgress, SessionResult]:
         """One bounded Flicker session of application work."""
         inputs = _encode_work(progress.sealed_key, progress.state_bytes, progress.mac, slice_ms)
-        result = self.platform.execute_pal(self.pal, inputs=inputs, nonce=nonce)
+        result = self.platform.execute_pal(self.pal, inputs=inputs, nonce=nonce,
+                                           tenant=tenant)
         data = result.outputs
         state_len = int.from_bytes(data[:4], "big")
         state_bytes = data[4 : 4 + state_len]

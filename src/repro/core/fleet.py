@@ -296,6 +296,20 @@ class FlickerFleet:
             self._verifiers[machine_id] = self.host(machine_id).platform.verifier()
         return self._verifiers[machine_id]
 
+    def migrate_tenant(self, source_id: str, destination_id: str,
+                       name: str) -> None:
+        """Move a vTPM tenant between two fleet machines mid-run.
+
+        Export on the source, evict, import on the destination
+        (:func:`repro.vtpm.mux.migrate_tenant`) — the tenant's next
+        session and attestation happen on the destination's hardware
+        with the same virtual state and key identity.
+        """
+        from repro.vtpm.mux import migrate_tenant
+
+        migrate_tenant(self.host(source_id).platform,
+                       self.host(destination_id).platform, name)
+
     # -- processes -------------------------------------------------------------
 
     def spawn_server(self, generator: Generator, name: str = SERVER_ID) -> Process:

@@ -76,6 +76,8 @@ class SessionResult:
     tpm_ms: Dict[str, float] = field(default_factory=dict)
     #: Number of transient-fault retries this session needed (0 = first try).
     retries: int = 0
+    #: vTPM tenant this session ran for (``None`` = the platform itself).
+    tenant: Optional[str] = None
 
     def phase(self, name: str) -> float:
         """Convenience accessor for a phase timing (0.0 if absent)."""
@@ -138,6 +140,7 @@ class FlickerPlatform:
         )
         self.kernel.load_module(self.flicker)
         self.privacy_ca = PrivacyCA(self.machine.rng)
+        self.platform_label = platform_label
         self.tqd = TPMQuoteDaemon(self.kernel, self.privacy_ca, platform_label)
         self.network = NetworkLink(
             self.machine.clock,
@@ -153,6 +156,7 @@ class FlickerPlatform:
         self._image_cache: Dict[Tuple[int, bool], SLBImage] = {}
         self._installed: Optional[SLBImage] = None
         self._last: Optional[SessionResult] = None
+        self._vtpm = None
 
     @classmethod
     def template(cls, **config) -> "PlatformTemplate":
@@ -174,6 +178,17 @@ class FlickerPlatform:
     def obs(self):
         """The machine's observability hub, or ``None`` when disabled."""
         return self.machine.obs
+
+    @property
+    def vtpm(self):
+        """The platform's vTPM multiplexer (:mod:`repro.vtpm`), created
+        lazily on first use — single-tenant deployments never construct
+        it, so their RNG streams and traces are untouched."""
+        if self._vtpm is None:
+            from repro.vtpm import VTPMMultiplexer
+
+            self._vtpm = VTPMMultiplexer(self)
+        return self._vtpm
 
     @property
     def machine_id(self) -> Optional[str]:
@@ -203,8 +218,14 @@ class FlickerPlatform:
         inputs: bytes = b"",
         nonce: bytes = DEFAULT_NONCE,
         optimize: bool = True,
+        tenant: Optional[str] = None,
     ) -> SessionResult:
         """Run one Flicker session of ``pal`` and return its result.
+
+        ``tenant`` runs the session on behalf of a vTPM tenant: the
+        hardware session is identical, but its event log is mirrored
+        into the tenant's virtual PCR 17 afterwards so the tenant can
+        attest it (:meth:`attest` with the same ``tenant``).
 
         Raises :class:`~repro.errors.PALRuntimeError` if the PAL faulted
         (the OS is restored first).
@@ -212,13 +233,15 @@ class FlickerPlatform:
         if self.launch == "txt":
             optimize = False  # SENTER measures the full MLE itself
         image = self.build(pal, optimize=optimize)
-        return self.execute_image(image, inputs=inputs, nonce=nonce)
+        return self.execute_image(image, inputs=inputs, nonce=nonce,
+                                  tenant=tenant)
 
     def execute_image(
         self,
         image: SLBImage,
         inputs: bytes = b"",
         nonce: bytes = DEFAULT_NONCE,
+        tenant: Optional[str] = None,
     ) -> SessionResult:
         """Run one session of an already built SLB image.
 
@@ -240,8 +263,11 @@ class FlickerPlatform:
         self.machine.fire_fault("session.begin", image=image, nonce=nonce)
         session_span = None
         if obs is not None:
+            span_args = {"pal": image.pal.name}
+            if tenant is not None:
+                span_args["tenant"] = tenant
             session_span = obs.open_span(
-                "session", category="session", pal=image.pal.name
+                "session", category="session", **span_args
             )
         try:
             while True:
@@ -294,7 +320,10 @@ class FlickerPlatform:
                 obs.close_span(session_span, attempts=attempt)
         result.retries = attempt - 1
         result.total_ms = clock.elapsed_since(start)
+        result.tenant = tenant
         self._last = result
+        if tenant is not None:
+            self.vtpm.record_session(tenant, result)
         if obs is not None:
             self._record_session_metrics(obs, image, result)
         return result
@@ -372,13 +401,21 @@ class FlickerPlatform:
 
     # -- attestation -----------------------------------------------------------------------
 
-    def attest(self, nonce: bytes, session: Optional[SessionResult] = None) -> Attestation:
+    def attest(self, nonce: bytes, session: Optional[SessionResult] = None,
+               tenant: Optional[str] = None) -> Attestation:
         """Produce the attestation for a session (default: the most recent).
 
         Runs on the *untrusted* OS — the tqd loads the AIK and quotes PCR
         17 with the verifier's nonce (§4.4.1).  Transient TPM faults during
         the quote are retried under the platform's :class:`RetryPolicy`;
-        exhausted retries raise :class:`~repro.errors.AttestationError`."""
+        exhausted retries raise :class:`~repro.errors.AttestationError`.
+
+        With ``tenant``, the multiplexer answers instead: a quote over the
+        tenant's *virtual* PCR 17, signed by the tenant AIK (whose
+        certificate chains to the same Privacy CA, so :meth:`verifier`
+        verifies it unchanged)."""
+        if tenant is not None:
+            return self.vtpm.attest(tenant, nonce, session)
         target = session or self._last
         if target is None:
             raise AttestationError("no session to attest")

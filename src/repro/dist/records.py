@@ -69,6 +69,11 @@ class UnitRecord:
     flags: int = 0
     #: Winning state digest (hex) once validated.
     digest: str = ""
+    #: Owning vTPM tenant ("" = untenanted — the classic single-tenant
+    #: job).  Tenanted units execute inside the tenant's virtual TPM on
+    #: whichever machine runs them, and their quorum digests are keyed by
+    #: the tenant id so votes never cross tenant boundaries.
+    tenant: str = ""
     found: Tuple[int, ...] = ()
     issued_at_ms: Optional[float] = None
     resolved_at_ms: Optional[float] = None
@@ -87,6 +92,7 @@ class UnitRecord:
             "resends": self.resends,
             "flags": self.flags,
             "digest": self.digest,
+            "tenant": self.tenant,
             "found": list(self.found),
             "issued_at_ms": self.issued_at_ms,
             "resolved_at_ms": self.resolved_at_ms,
@@ -96,6 +102,7 @@ class UnitRecord:
     def from_dict(cls, data: Dict[str, Any]) -> "UnitRecord":
         data = dict(data)
         data["found"] = tuple(data.get("found", ()))
+        data.setdefault("tenant", "")  # dumps predating multi-tenancy
         return cls(**data)
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from collections import deque
 
@@ -77,7 +77,11 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class DistAssignment:
-    """Server → client: run this unit, attest with this nonce."""
+    """Server → client: run this unit, attest with this nonce.
+
+    ``tenant`` ("" = untenanted) names the vTPM tenant the unit belongs
+    to; the client must execute and attest inside that tenant's virtual
+    TPM (:mod:`repro.vtpm`)."""
 
     seq: int
     unit_id: str
@@ -86,6 +90,7 @@ class DistAssignment:
     start: int
     end: int
     nonce: bytes
+    tenant: str = ""
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,7 @@ class DistResult:
     session: Any
     attestation: Any
     nonce: bytes
+    tenant: str = ""
 
 
 @dataclass(frozen=True)
@@ -162,12 +168,17 @@ class WorkDistributionService:
         reputation: ReputationPolicy = ReputationPolicy(),
         behaviors: Optional[Dict[int, ClientBehavior]] = None,
         job_seed: Optional[int] = None,
+        tenants: Optional[Sequence[str]] = None,
     ) -> None:
         self.fleet = fleet
         self.spec = spec
         self.quorum_policy = quorum
         self.reputation_policy = reputation
         self.behaviors = dict(behaviors or {})
+        #: vTPM tenants the job's units cycle through (unit ``i`` belongs
+        #: to ``tenants[i % len(tenants)]``); empty = the classic
+        #: untenanted job, byte-identical to pre-multi-tenant runs.
+        self.tenants = tuple(tenants or ())
         for index in self.behaviors:
             if not 0 <= index < len(fleet.hosts):
                 raise ValueError(f"behavior for machine {index} out of range")
@@ -292,6 +303,9 @@ class WorkDistributionService:
         batch = self.db.generate_batch()
         if not batch:
             return False
+        if self.tenants:
+            for record in batch:
+                record.tenant = self.tenants[record.index % len(self.tenants)]
         self._open_units.extend(record.unit_id for record in batch)
         if self._hub is not None:
             self._hub.event("dist-batch", category="dist",
@@ -328,6 +342,7 @@ class WorkDistributionService:
         self.fleet.send_to_host(host, DistAssignment(
             seq=seq, unit_id=unit_id, index=unit.index, n=unit.n,
             start=unit.start, end=unit.end, nonce=self._nonce(seq),
+            tenant=unit.tenant,
         ))
         self._timeouts[seq] = self.fleet.scheduler.after(
             self.spec.timeout_ms,
@@ -532,14 +547,38 @@ class WorkDistributionService:
         if not report.ok:
             return _Verdict(message.seq, False, "attestation", "", ())
         unit = self.db.units[message.unit_id]
+        if unit.tenant:
+            # Tenanted unit: the quote must come from the unit's tenant —
+            # the AIK certificate's subject carries the tenant identity
+            # the multiplexer enrolled with the Privacy CA.
+            subject = message.attestation.aik_certificate.platform_label
+            if (message.tenant != unit.tenant
+                    or not subject.endswith(f"/tenant/{unit.tenant}")):
+                return _Verdict(message.seq, False, "tenant", "", ())
         state = message.progress.state
         if (state.unit_id != unit.index or state.n != unit.n
                 or state.end != unit.end or not state.done):
             return _Verdict(message.seq, False, "state", "", ())
-        digest = sha1(message.progress.state_bytes).hex()
+        digest = self._unit_digest(unit.tenant, message.progress.state_bytes)
         return _Verdict(message.seq, True, "", digest, state.found)
 
+    @staticmethod
+    def _unit_digest(tenant: str, state_bytes: bytes) -> str:
+        """Vote digest; tenant-keyed so quorum votes can never collide
+        across tenant boundaries (untenanted stays the plain digest)."""
+        if not tenant:
+            return sha1(state_bytes).hex()
+        return sha1(tenant.encode("utf-8") + b"\x00" + state_bytes).hex()
+
     # -- the clients ------------------------------------------------------------
+
+    def _tenant_scenario(self, name: str) -> str:
+        """Deterministic latency scenario for a tenant: cycle the known
+        scenarios in this job's tenant order."""
+        from repro.vtpm.mux import TENANT_SCENARIOS
+
+        scenarios = tuple(sorted(TENANT_SCENARIOS))
+        return scenarios[self.tenants.index(name) % len(scenarios)]
 
     def _client_proc(self, host, behavior: ClientBehavior):
         client = BOINCClient(host.platform)
@@ -549,17 +588,23 @@ class WorkDistributionService:
                 return
             if behavior.kind == "dropout":
                 continue
+            tenant = message.tenant or None
+            if tenant is not None and tenant not in host.platform.vtpm.tenants:
+                host.platform.vtpm.create_tenant(
+                    tenant, scenario=self._tenant_scenario(tenant))
             start = message.end if behavior.kind == "lazy" else message.start
             unit = FactoringWorkUnit(unit_id=message.index, n=message.n,
                                      start=start, end=message.end)
             try:
-                progress = client.start_unit(unit)
+                progress = client.start_unit(unit, tenant=tenant)
                 result = None
                 while not progress.done:
                     yield 0.0
                     progress, result = client.work_slice(
-                        progress, self.spec.slice_ms, nonce=message.nonce)
-                attestation = host.platform.attest(message.nonce, result)
+                        progress, self.spec.slice_ms, nonce=message.nonce,
+                        tenant=tenant)
+                attestation = host.platform.attest(message.nonce, result,
+                                                   tenant=tenant)
             except PALRuntimeError as exc:
                 # Fail-closed: a faulted or aborted session never
                 # produces a result at all — the client reports the
@@ -586,7 +631,7 @@ class WorkDistributionService:
                 machine_id=host.machine_id, seq=message.seq,
                 unit_id=message.unit_id, progress=progress,
                 session=result, attestation=attestation,
-                nonce=message.nonce,
+                nonce=message.nonce, tenant=message.tenant,
             ))
 
     # -- finalization -----------------------------------------------------------

@@ -153,6 +153,12 @@ class SecureChannelError(FlickerError):
     """Secure-channel protocol violation (bad nonce, bad padding...)."""
 
 
+class VTPMError(FlickerError):
+    """vTPM multiplexer failure (unknown tenant, cross-tenant access,
+    malformed migration snapshot...).  Lives under the Flicker layer
+    because the multiplexer is untrusted software outside the PAL TCB."""
+
+
 class FaultPlanError(ReproError):
     """A fault plan is malformed (unknown kind, bad injection point...)."""
 

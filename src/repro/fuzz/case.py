@@ -14,8 +14,8 @@ from typing import Any, Dict
 
 from repro.crypto.sha1 import sha1
 
-#: The four fuzzed surfaces, in canonical order.
-TARGETS = ("tpm", "skinit", "seal", "faults")
+#: The five fuzzed surfaces, in canonical order.
+TARGETS = ("tpm", "skinit", "seal", "faults", "vtpm")
 
 
 class FuzzCaseError(ValueError):

@@ -1,4 +1,4 @@
-"""Seed corpora and mutation operators for the four fuzz targets.
+"""Seed corpora and mutation operators for the five fuzz targets.
 
 Mutation is structure-aware: instead of flipping bits in an opaque
 buffer, operators edit the JSON-shaped payload — duplicate a TPM
@@ -41,6 +41,14 @@ _FAULT_KINDS = (
 
 _FAULT_OPS = ("", "seal", "unseal", "get_random", "pcr_extend", "quote",
               "nv_write", "nv_read", "bogus-op")
+
+_VTPM_OPS = (
+    "pcr_read", "pcr_extend", "dynamic_reset", "quote", "seal", "unseal",
+    "counter_create", "counter_increment", "counter_read",
+    "hw_counter_create", "hw_counter_increment", "migrate",
+)
+
+_VTPM_TENANTS = ("t0", "t1", "mallory")
 
 
 def seed_corpus(target: str) -> List[FuzzCase]:
@@ -102,6 +110,34 @@ def seed_corpus(target: str) -> List[FuzzCase]:
             FuzzCase("seal", {"mode": "versioned", "reseals": 3, "present": 0}),
             FuzzCase("seal", {"mode": "versioned", "reseals": 3, "present": 2}),
         ]
+    if target == "vtpm":
+        return [
+            FuzzCase("vtpm", {"commands": [
+                {"op": "seal", "tenant": "t0", "bind": True},
+                {"op": "unseal", "tenant": "t0", "which": 0},
+            ]}),
+            FuzzCase("vtpm", {"commands": [
+                {"op": "seal", "tenant": "t0", "bind": True},
+                {"op": "unseal", "tenant": "t1", "which": 0},
+            ]}),
+            FuzzCase("vtpm", {"commands": [
+                {"op": "pcr_extend", "tenant": "t0", "index": 17,
+                 "data": b"\xab" * 20},
+                {"op": "pcr_read", "tenant": "t1", "index": 17},
+                {"op": "quote", "tenant": "t0", "nonce": b"n"},
+            ]}),
+            FuzzCase("vtpm", {"commands": [
+                {"op": "hw_counter_create", "tenant": "t0"},
+                {"op": "hw_counter_increment", "tenant": "t1", "id": 1},
+            ]}),
+            FuzzCase("vtpm", {"commands": [
+                {"op": "counter_create", "tenant": "t0"},
+                {"op": "counter_increment", "tenant": "t0", "id": 1},
+                {"op": "migrate", "tenant": "t0"},
+                {"op": "quote", "tenant": "t0", "nonce": b"m"},
+                {"op": "counter_read", "tenant": "t0", "id": 1},
+            ]}),
+        ]
     if target == "faults":
         return [
             FuzzCase("faults", {"app": "rootkit", "seed": 1, "specs": [
@@ -160,7 +196,8 @@ def _mutate_value(value: Any, rng: DeterministicRNG) -> Any:
         return _mutate_bytes(raw, rng)
     if isinstance(value, str):
         pools = {"op": _TPM_OPS, "kind": _FAULT_KINDS, "mode": ("raw", "versioned"),
-                 "app": ("ca", "ssh", "rootkit", "distributed", "bogus")}
+                 "app": ("ca", "ssh", "rootkit", "distributed", "bogus"),
+                 "vtpm_op": _VTPM_OPS, "tenant": _VTPM_TENANTS}
         for pool in pools.values():
             if value in pool:
                 return _choice(rng, pool)

@@ -546,11 +546,212 @@ def _run_faults(case: FuzzCase) -> TargetResult:
     return TargetResult("ok", "", f"outcome {record.get('outcome')}")
 
 
+# -- vtpm: cross-tenant command streams against the multiplexer -----------------
+
+#: The two mutually-distrusting tenants every vtpm case runs against.
+_VTPM_TENANTS = ("t0", "t1")
+
+
+def _run_vtpm(case: FuzzCase) -> TargetResult:
+    """Replay a mutated cross-tenant command stream against the vTPM
+    multiplexer.  Oracles: no cross-tenant unseal or counter access ever
+    succeeds, one tenant's ops never move another tenant's virtual PCRs,
+    migration preserves tenant state exactly, and the boundary only
+    surfaces typed errors that name no plaintext."""
+    from repro.core.session import FlickerPlatform
+    from repro.vtpm.mux import migrate_tenant
+
+    platform = FlickerPlatform(seed=MACHINE_SEED)
+    platform.machine.tpm.take_ownership(_OWNER)
+    mux = platform.vtpm
+    mux.create_tenant("t0", scenario="discrete")
+    mux.create_tenant("t1", scenario="mobile")
+    spare = None  # second platform, built on the first migrate op
+
+    #: tenant → its current platform (migrations flip entries).
+    where = {name: platform for name in _VTPM_TENANTS}
+    #: Shadow virtual-PCR model per tenant (the isolation oracle).
+    shadow: Dict[str, Dict[int, bytes]] = {
+        name: {i: mux.tenant(name).pcrs.read(i) for i in range(PCR_COUNT)}
+        for name in _VTPM_TENANTS
+    }
+    counters: Dict[str, Dict[int, int]] = {name: {} for name in _VTPM_TENANTS}
+    #: All sealed blobs ever made: (blob, owner, policy-at-seal).
+    sealed: List[Tuple[SealedBlob, str, Dict[int, bytes]]] = []
+    hw_drivers: Dict[str, TPMSessionDriver] = {}
+    hw_owner: Dict[int, str] = {}
+
+    def inst(name):
+        return where[name].vtpm.tenant(name)
+
+    commands = case.payload.get("commands")
+    if not isinstance(commands, list):
+        return TargetResult("rejected", "", "payload has no command list")
+
+    for step, cmd in enumerate(commands[:12]):
+        if not isinstance(cmd, dict):
+            continue
+        op = cmd.get("op")
+        name = cmd.get("tenant")
+        name = name if name in _VTPM_TENANTS else "t0"
+        try:
+            if op == "pcr_extend":
+                index = _clamp_index(cmd.get("index"))
+                measurement = get_bytes(cmd, "data")
+                inst(name).pcr_extend(index, measurement)
+                shadow[name][index] = extend_value(
+                    shadow[name][index], measurement)
+            elif op == "pcr_read":
+                index = _clamp_index(cmd.get("index"))
+                value = inst(name).pcr_read(index)
+                if 0 <= index < PCR_COUNT and value != shadow[name][index]:
+                    return TargetResult(
+                        "counterexample", "vtpm-pcr-isolation",
+                        f"step {step}: tenant {name} PCR {index} "
+                        f"{value.hex()[:12]} != shadow "
+                        f"{shadow[name][index].hex()[:12]}",
+                    )
+            elif op == "dynamic_reset":
+                inst(name).dynamic_reset()
+                for i in DYNAMIC_PCRS:
+                    shadow[name][i] = PCR_DYNAMIC_RESET_VALUE
+            elif op == "quote":
+                nonce = sha1(get_bytes(cmd, "nonce", b"vtpm-nonce"))
+                vt = inst(name)
+                quote = vt.quote(nonce, (17,))
+                if not quote.verify(vt.aik_public):
+                    return TargetResult(
+                        "counterexample", "attestation-accepts-genuine",
+                        f"step {step}: tenant {name}'s own quote failed",
+                    )
+                other = inst("t1" if name == "t0" else "t0")
+                if quote.verify(other.aik_public):
+                    return TargetResult(
+                        "counterexample", "vtpm-key-isolation",
+                        f"step {step}: tenant {name}'s quote verified "
+                        "under another tenant's AIK",
+                    )
+            elif op == "seal":
+                policy = ({17: shadow[name][17]} if cmd.get("bind") else {})
+                blob = inst(name).seal(SECRET, policy)
+                sealed.append((blob, name, dict(policy)))
+            elif op == "unseal":
+                if not sealed:
+                    continue
+                blob, owner, policy = sealed[
+                    _clamp_index(cmd.get("which")) % len(sealed)]
+                data = inst(name).unseal(blob)
+                if owner != name:
+                    return TargetResult(
+                        "counterexample", "vtpm-namespace-isolation",
+                        f"step {step}: tenant {name} unsealed tenant "
+                        f"{owner}'s blob",
+                    )
+                if any(shadow[name].get(i) != v for i, v in policy.items()):
+                    return TargetResult(
+                        "counterexample", "unseal-honors-policy",
+                        f"step {step}: unseal released data after the "
+                        "bound virtual PCR moved",
+                    )
+                if data != SECRET:
+                    return TargetResult(
+                        "counterexample", "unseal-roundtrip",
+                        f"step {step}: unseal returned wrong plaintext",
+                    )
+            elif op == "counter_create":
+                cid = inst(name).create_counter(get_bytes(cmd, "label", b"f"))
+                counters[name][cid] = 0
+            elif op == "counter_increment":
+                cid = _clamp_index(cmd.get("id"))
+                value = inst(name).increment_counter(cid)
+                expected = counters[name].get(cid, 0) + 1
+                if cid in counters[name] and value != expected:
+                    return TargetResult(
+                        "counterexample", "vtpm-counter-state",
+                        f"step {step}: tenant {name} counter {cid} is "
+                        f"{value}, expected {expected}",
+                    )
+                counters[name][cid] = value
+            elif op == "counter_read":
+                cid = _clamp_index(cmd.get("id"))
+                value = inst(name).read_counter(cid)
+                if cid in counters[name] and value != counters[name][cid]:
+                    return TargetResult(
+                        "counterexample", "vtpm-counter-state",
+                        f"step {step}: tenant {name} counter {cid} read "
+                        f"{value}, expected {counters[name][cid]}",
+                    )
+            elif op == "hw_counter_create":
+                if name not in hw_drivers:
+                    hw_drivers[name] = TPMSessionDriver(
+                        where[name].vtpm.hardware_interface(name))
+                cid = hw_drivers[name].create_counter(
+                    get_bytes(cmd, "label", b"f"), _OWNER)
+                hw_owner[cid] = name
+            elif op == "hw_counter_increment":
+                if name not in hw_drivers:
+                    continue
+                cid = _clamp_index(cmd.get("id"))
+                hw_drivers[name].increment_counter(cid)
+                if cid in hw_owner and hw_owner[cid] != name:
+                    return TargetResult(
+                        "counterexample", "vtpm-counter-partition",
+                        f"step {step}: tenant {name} incremented tenant "
+                        f"{hw_owner[cid]}'s hardware counter {cid}",
+                    )
+            elif op == "migrate":
+                if spare is None:
+                    spare = FlickerPlatform(seed=MACHINE_SEED + 1)
+                source = where[name]
+                destination = spare if source is platform else platform
+                before_pcrs = dict(shadow[name])
+                before_counters = dict(counters[name])
+                migrate_tenant(source, destination, name)
+                where[name] = destination
+                vt = inst(name)
+                if any(vt.pcrs.read(i) != v for i, v in before_pcrs.items()):
+                    return TargetResult(
+                        "counterexample", "migration-fidelity",
+                        f"step {step}: tenant {name}'s virtual PCRs "
+                        "changed across migration",
+                    )
+                if any(vt.read_counter(c) != v
+                       for c, v in before_counters.items()):
+                    return TargetResult(
+                        "counterexample", "migration-fidelity",
+                        f"step {step}: tenant {name}'s counters changed "
+                        "across migration",
+                    )
+            # unknown ops are skipped: mutation may invent them freely
+        except _TYPED as exc:
+            if _secret_in_text(str(exc)):
+                return _leak(f"vtpm step {step} ({op})", str(exc))
+        except ReproError as exc:
+            if _secret_in_text(str(exc)):
+                return _leak(f"vtpm step {step} ({op})", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the oracle itself
+            return _untyped(exc)
+
+    # Closing isolation sweep: both tenants' virtual banks must match
+    # their shadows — no cross-tenant write ever landed.
+    for name in _VTPM_TENANTS:
+        vt = where[name].vtpm.tenant(name)
+        for index in range(PCR_COUNT):
+            if vt.pcrs.read(index) != shadow[name][index]:
+                return TargetResult(
+                    "counterexample", "vtpm-pcr-isolation",
+                    f"final sweep: tenant {name} PCR {index} diverged "
+                    "from its shadow",
+                )
+    return TargetResult("ok", "", f"{len(commands)} commands executed")
+
+
 _RUNNERS = {
     "tpm": _run_tpm,
     "skinit": _run_skinit,
     "seal": _run_seal,
     "faults": _run_faults,
+    "vtpm": _run_vtpm,
 }
 
 

@@ -211,6 +211,30 @@ FUTURE_HW_TPM = TPMTimings(
     nv_op_ms=0.002,
 )
 
+#: A simTPM-class mobile TPM (PAPERS.md: "simTPM: User-centric TPM for
+#: Mobile Devices"): the TPM runs in the SIM's secure element next to a
+#: TrustZone host, so commands skip the LPC bus entirely.  Latencies sit
+#: between the discrete chips and the future-hardware projection —
+#: millisecond-scale asymmetric ops, sub-millisecond bookkeeping.  Used
+#: as a per-tenant vTPM latency scenario (:mod:`repro.vtpm`): one tenant
+#: on discrete-chip timings, another on mobile timings, same hardware.
+SIMTPM_MOBILE = TPMTimings(
+    name="simTPM (mobile secure element)",
+    skinit_base_ms=0.4,
+    skinit_per_kb_ms=0.11,
+    extend_ms=0.2,
+    pcr_read_ms=0.1,
+    quote_ms=25.0,
+    seal_base_ms=2.4,
+    seal_per_byte_ms=0.0008,
+    unseal_base_ms=12.1,
+    unseal_per_byte_ms=0.002,
+    getrandom_base_ms=0.1,
+    getrandom_per_byte_ms=0.001,
+    session_ms=0.5,
+    nv_op_ms=1.6,
+)
+
 #: Default platform profile: the paper's testbed.
 DEFAULT_PROFILE = TimingProfile(tpm=BROADCOM_BCM0102, host=HOST_HP_DC5750)
 
@@ -219,3 +243,6 @@ INFINEON_PROFILE = TimingProfile(tpm=INFINEON_1_2, host=HOST_HP_DC5750)
 
 #: Next-generation hardware projection (used by the future-hardware bench).
 FUTURE_HW_PROFILE = TimingProfile(tpm=FUTURE_HW_TPM, host=HOST_HP_DC5750)
+
+#: Mobile secure-element profile (the simTPM-like vTPM tenant scenario).
+SIMTPM_PROFILE = TimingProfile(tpm=SIMTPM_MOBILE, host=HOST_HP_DC5750)

@@ -14,6 +14,9 @@ Options::
     --range-per-unit N    divisors per work unit (default 400)
     --seed N              fleet seed (default 2008)
     --jitter-ms MS        seeded gaussian network jitter (default 0)
+    --shard-size N        split fleets larger than N machines into groups
+                          run as separate cells, merged byte-identically
+    --workers N           process-pool size for sharded runs (0 = auto)
     --json PATH           also write the full report dict as JSON
     --chrome PATH         also write a per-machine-track Chrome trace
                           (implies observability; load in Perfetto)
@@ -175,40 +178,41 @@ def run_fleet_sweep(configs, workers: int = 1, shard_size: Optional[int] = None)
     return merged
 
 
-def build_report(fleet: FlickerFleet, report: FleetProjectReport) -> str:
-    """The printable report for one finished fleet run."""
+def build_report_dict(report: dict, seed: int,
+                      extra_rows: Sequence[Sequence] = ()) -> str:
+    """The printable report from a plain report *dict* — the shape both
+    :meth:`FleetProjectReport.to_dict` and :func:`merge_group_reports`
+    produce, so flat and sharded runs render identically."""
     machine_rows = [
         (
-            m.machine_id,
-            m.sessions,
-            f"{m.units_accepted}/{m.units_accepted + m.units_rejected}",
-            f"{m.busy_ms:.1f}",
-            f"{m.utilization:.4f}",
-            m.net_messages,
-            m.net_bytes,
+            m["machine_id"],
+            m["sessions"],
+            f"{m['units_accepted']}/{m['units_accepted'] + m['units_rejected']}",
+            f"{m['busy_ms']:.1f}",
+            f"{m['utilization']:.4f}",
+            m["net_messages"],
+            m["net_bytes"],
         )
-        for m in report.per_machine
+        for m in report["per_machine"]
     ]
-    server = fleet.machine_reports()[-1]
-    machine_rows.append(
-        (server.machine_id, "-", "-", f"{server.busy_ms:.1f}",
-         f"{server.utilization:.4f}", server.net_messages, server.net_bytes)
-    )
+    machine_rows.extend(extra_rows)
     aggregate_rows = [
-        ("client machines", report.fleet_size),
+        ("client machines", report["fleet_size"]),
         ("units accepted / issued",
-         f"{report.units_accepted} / {report.units_issued}"),
-        ("makespan (virtual ms)", f"{report.makespan_ms:.1f}"),
-        ("total sessions", report.total_sessions),
+         f"{report['units_accepted']} / {report['units_issued']}"),
+        ("makespan (virtual ms)", f"{report['makespan_ms']:.1f}"),
+        ("total sessions", report["total_sessions"]),
         ("sessions / virtual second",
-         f"{report.sessions_per_virtual_second:.3f}"),
-        ("fleet efficiency (useful/busy)", f"{report.efficiency:.3f}"),
-        ("network messages", report.network_messages),
-        ("network bytes", report.network_bytes),
+         f"{report['sessions_per_virtual_second']:.3f}"),
+        ("fleet efficiency (useful/busy)", f"{report['efficiency']:.3f}"),
+        ("network messages", report["network_messages"]),
+        ("network bytes", report["network_bytes"]),
     ]
+    if "shards" in report:
+        aggregate_rows.append(("shard groups", report["shards"]))
     return "\n".join([
         "# Flicker fleet — distributed factoring (§6.2, concurrent)",
-        f"(seed {fleet.seed}; all times are deterministic virtual-time results)",
+        f"(seed {seed}; all times are deterministic virtual-time results)",
         _table(
             "Per-machine activity",
             ["Machine", "Sessions", "Units ok", "Busy (ms)",
@@ -217,6 +221,19 @@ def build_report(fleet: FlickerFleet, report: FleetProjectReport) -> str:
         ),
         _table("Aggregate throughput", ["Quantity", "Value"], aggregate_rows),
     ])
+
+
+def build_report(fleet: FlickerFleet, report: FleetProjectReport) -> str:
+    """The printable report for one finished flat (unsharded) fleet run —
+    includes the server machine's row, which only exists when the whole
+    fleet ran in this process."""
+    server = fleet.machine_reports()[-1]
+    server_row = (
+        server.machine_id, "-", "-", f"{server.busy_ms:.1f}",
+        f"{server.utilization:.4f}", server.net_messages, server.net_bytes,
+    )
+    return build_report_dict(report.to_dict(), fleet.seed,
+                             extra_rows=[server_row])
 
 
 def main(argv: Optional[List[str]] = None) -> None:
@@ -230,11 +247,17 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--range-per-unit", type=int, default=400)
     parser.add_argument("--seed", type=int, default=2008)
     parser.add_argument("--jitter-ms", type=float, default=0.0)
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="split fleets larger than N machines into "
+                             "contiguous groups run as separate cells")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for sharded runs "
+                             "(0 = one per CPU)")
     parser.add_argument("--json", metavar="PATH", default=None)
     parser.add_argument("--chrome", metavar="PATH", default=None)
     args = parser.parse_args(argv)
 
-    fleet, report = run_fleet(
+    config = dict(
         machines=args.machines,
         units_per_client=args.units_per_client,
         slice_ms=args.slice_ms,
@@ -243,12 +266,23 @@ def main(argv: Optional[List[str]] = None) -> None:
         jitter_ms=args.jitter_ms,
         observability=args.chrome is not None,
     )
-    print(build_report(fleet, report))
+    if args.shard_size is not None or args.workers != 1:
+        if args.chrome:
+            parser.error("--chrome requires a flat run "
+                         "(drop --shard-size/--workers)")
+        [report_dict] = run_fleet_sweep([config], workers=args.workers,
+                                        shard_size=args.shard_size)
+        fleet = None
+        print(build_report_dict(report_dict, args.seed))
+    else:
+        fleet, report = run_fleet(**config)
+        report_dict = report.to_dict()
+        print(build_report(fleet, report))
     if args.json:
         import json
 
         with open(args.json, "w") as fh:
-            fh.write(json.dumps(report.to_dict(), sort_keys=True,
+            fh.write(json.dumps(report_dict, sort_keys=True,
                                 separators=(", ", ": ")) + "\n")
         print(f"\nwrote JSON report to {args.json}")
     if args.chrome:

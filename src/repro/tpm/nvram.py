@@ -52,11 +52,18 @@ class MonotonicCounter:
     TPM v1.2 counters may only be incremented once per "throttling period";
     the simulation does not model throttling, but does enforce
     monotonicity and 32-bit wrap refusal.
+
+    ``owner_tenant`` partitions the counter space between vTPM tenants
+    (:mod:`repro.vtpm`): a counter created through a tenant-bound
+    interface is usable only through interfaces bound to the same
+    tenant, while untenanted (hardware-owner) interfaces retain full
+    access.  ``None`` marks a counter owned by the platform itself.
     """
 
     counter_id: int
     label: bytes
     value: int = 0
+    owner_tenant: Optional[str] = None
 
     def increment(self) -> int:
         """Advance the counter; returns the new value."""

@@ -191,15 +191,22 @@ class TPM:
             "entries": len(self._read_cache),
         }
 
-    def interface(self, locality: int) -> "TPMInterface":
+    def interface(self, locality: int,
+                  tenant: Optional[str] = None) -> "TPMInterface":
         """A command interface bound to ``locality``.
 
         Software may request localities 0–3; locality 4 interfaces are
         created once by the machine and never handed to software.
+
+        ``tenant`` binds the interface to a vTPM tenant
+        (:mod:`repro.vtpm`): counters created through it belong to that
+        tenant and are unreachable through interfaces bound to any other
+        tenant.  ``None`` (the default) is the untenanted hardware-owner
+        view with full access — existing callers are unaffected.
         """
         if not 0 <= locality <= 4:
             raise TPMLocalityError(f"invalid locality {locality}")
-        return TPMInterface(self, locality)
+        return TPMInterface(self, locality, tenant)
 
     def reboot(self) -> None:
         """Platform reset: PCR semantics per §2.3, sessions dropped.
@@ -252,7 +259,8 @@ class TPM:
             },
             "counters": {
                 cid: MonotonicCounter(counter_id=c.counter_id,
-                                      label=c.label, value=c.value)
+                                      label=c.label, value=c.value,
+                                      owner_tenant=c.owner_tenant)
                 for cid, c in self._counters.items()
             },
             "next_counter_id": self._next_counter_id,
@@ -285,7 +293,8 @@ class TPM:
         }
         self._counters = {
             cid: MonotonicCounter(counter_id=c.counter_id,
-                                  label=c.label, value=c.value)
+                                  label=c.label, value=c.value,
+                                  owner_tenant=c.owner_tenant)
             for cid, c in state["counters"].items()
         }
         self._next_counter_id = state["next_counter_id"]
@@ -571,33 +580,54 @@ class TPM:
         self._charge(self.timings.nv_op_ms, "nv_read", index=index)
         return self._cached_read(("nv_read", index), lambda: space.data)
 
-    def _create_counter(self, label: bytes, session_id: int, nonce_odd: bytes, proof: bytes) -> int:
+    def _create_counter(self, label: bytes, session_id: int, nonce_odd: bytes,
+                        proof: bytes, tenant: Optional[str] = None) -> int:
         digest = command_digest("TPM_CreateCounter", label)
         self._require_owner_auth(self._session(session_id), digest, nonce_odd, proof)
-        counter = MonotonicCounter(counter_id=self._next_counter_id, label=label)
+        counter = MonotonicCounter(counter_id=self._next_counter_id, label=label,
+                                   owner_tenant=tenant)
         self._counters[counter.counter_id] = counter
         self._next_counter_id += 1
         self._invalidate_reads()
-        self._charge(self.timings.nv_op_ms, "counter_create", counter=counter.counter_id)
+        detail = {"counter": counter.counter_id}
+        if tenant is not None:
+            detail["tenant"] = tenant
+        self._charge(self.timings.nv_op_ms, "counter_create", **detail)
         return counter.counter_id
 
-    def _counter(self, counter_id: int) -> MonotonicCounter:
+    def _counter(self, counter_id: int,
+                 tenant: Optional[str] = None) -> MonotonicCounter:
         try:
-            return self._counters[counter_id]
+            counter = self._counters[counter_id]
         except KeyError:
             raise TPMNVError(f"no monotonic counter {counter_id}") from None
+        # Tenant partition: a tenant-bound interface may only touch its own
+        # counters.  The untenanted (hardware-owner) view sees everything.
+        if tenant is not None and counter.owner_tenant != tenant:
+            raise TPMAuthError(
+                f"counter {counter_id} is not owned by tenant {tenant!r}"
+            )
+        return counter
 
-    def _increment_counter(self, counter_id: int) -> int:
+    def _increment_counter(self, counter_id: int,
+                           tenant: Optional[str] = None) -> int:
         self._fault("counter_increment", counter=counter_id)
-        value = self._counter(counter_id).increment()
+        value = self._counter(counter_id, tenant).increment()
         self._invalidate_reads()
-        self._charge(self.timings.nv_op_ms, "counter_increment", counter=counter_id, value=value)
+        detail = {"counter": counter_id, "value": value}
+        if tenant is not None:
+            detail["tenant"] = tenant
+        self._charge(self.timings.nv_op_ms, "counter_increment", **detail)
         return value
 
-    def _read_counter(self, counter_id: int) -> int:
-        self._charge(self.timings.pcr_read_ms, "counter_read", counter=counter_id)
-        return self._cached_read(("counter_read", counter_id),
-                                 lambda: self._counter(counter_id).value)
+    def _read_counter(self, counter_id: int,
+                      tenant: Optional[str] = None) -> int:
+        detail = {"counter": counter_id}
+        if tenant is not None:
+            detail["tenant"] = tenant
+        self._charge(self.timings.pcr_read_ms, "counter_read", **detail)
+        return self._cached_read(("counter_read", counter_id, tenant),
+                                 lambda: self._counter(counter_id, tenant).value)
 
     def _get_capability(self) -> Dict[str, object]:
         self._charge(self.timings.pcr_read_ms, "get_capability")
@@ -621,11 +651,17 @@ class TPMInterface:
     locality 0, and a PAL's minimal driver gets one created during the
     Flicker session.  All methods forward to the device with the locality
     attached where it matters.
+
+    An interface may additionally be bound to a vTPM ``tenant``
+    (:meth:`TPM.interface`): counter commands then carry the tenant so
+    the device can enforce the per-tenant counter partition.
     """
 
-    def __init__(self, tpm: TPM, locality: int) -> None:
+    def __init__(self, tpm: TPM, locality: int,
+                 tenant: Optional[str] = None) -> None:
         self._tpm = tpm
         self.locality = locality
+        self.tenant = tenant
 
     # Convenience re-exports -------------------------------------------------
 
@@ -724,13 +760,17 @@ class TPMInterface:
 
     def create_counter(self, label: bytes, session: AuthSession,
                        nonce_odd: bytes, proof: bytes) -> int:
-        """Create a monotonic counter (owner-authorized); returns its id."""
-        return self._tpm._create_counter(label, session.session_id, nonce_odd, proof)
+        """Create a monotonic counter (owner-authorized); returns its id.
+
+        Counters created through a tenant-bound interface belong to that
+        tenant and are invisible to every other tenant's interfaces."""
+        return self._tpm._create_counter(label, session.session_id, nonce_odd,
+                                         proof, tenant=self.tenant)
 
     def increment_counter(self, counter_id: int) -> int:
-        """TPM_IncrementCounter."""
-        return self._tpm._increment_counter(counter_id)
+        """TPM_IncrementCounter (tenant-partition checked)."""
+        return self._tpm._increment_counter(counter_id, tenant=self.tenant)
 
     def read_counter(self, counter_id: int) -> int:
-        """TPM_ReadCounter."""
-        return self._tpm._read_counter(counter_id)
+        """TPM_ReadCounter (tenant-partition checked)."""
+        return self._tpm._read_counter(counter_id, tenant=self.tenant)

@@ -1,0 +1,25 @@
+"""vTPM multiplexing: per-tenant virtual TPMs over one hardware chip.
+
+The missing layer between Flicker's one-tenant-per-TPM model and shared
+hardware at fleet scale (PAPERS.md: simTPM; Berger et al. vTPM).  See
+docs/VTPM.md for the tenant model, the migration protocol, and the TCB
+argument — the whole package is untrusted OS-side software, enforced
+outside the PAL TCB closure by :mod:`repro.analysis.tcb`.
+"""
+
+from repro.vtpm.instance import DEFAULT_TENANT_KEY_BITS, VirtualTPM
+from repro.vtpm.mux import (
+    MIGRATION_SCHEMA,
+    TENANT_SCENARIOS,
+    VTPMMultiplexer,
+    migrate_tenant,
+)
+
+__all__ = [
+    "DEFAULT_TENANT_KEY_BITS",
+    "MIGRATION_SCHEMA",
+    "TENANT_SCENARIOS",
+    "VTPMMultiplexer",
+    "VirtualTPM",
+    "migrate_tenant",
+]

@@ -157,6 +157,51 @@ class TestTPMSnapshot:
         assert tpm_b._counters[1].value == 1
         assert tpm_a._counters[1].value == 0
 
+    def test_round_trip_with_an_open_oiap_session(self):
+        """Snapshots capture persistent state only: restoring behaves
+        like a platform reset, so a session open at export time is gone
+        after import — and typed auth errors, not stale handles, greet
+        anyone who kept it."""
+        from repro.errors import TPMAuthError
+        from repro.tpm.driver import TPMSessionDriver
+
+        platform = FlickerPlatform(seed=77)
+        tpm = platform.machine.tpm
+        session = tpm.start_oiap()
+        pcr17 = tpm.pcrs.read(17)
+        snapshot = tpm.export_state()
+        assert "sessions" not in snapshot  # volatile state is not exported
+
+        tpm.import_state(snapshot)
+        assert tpm.pcrs.read(17) == pcr17
+        with pytest.raises(TPMAuthError, match="no such session"):
+            tpm._session(session.session_id)
+        # Fresh sessions work immediately: a driver-level seal/unseal
+        # round-trip opens new OIAP sessions against the restored TPM.
+        driver = TPMSessionDriver(platform.machine.os_tpm_interface())
+        blob = driver.seal(b"post-restore", {})
+        assert driver.unseal(blob) == b"post-restore"
+
+    def test_pending_counter_increment_rolls_back(self):
+        """An increment issued after the snapshot is not in it: restore
+        rewinds the counter, and replaying the increment lands on the
+        same value — the idempotence the clone protocol relies on."""
+        from repro.tpm.driver import TPMSessionDriver
+
+        owner = b"owner-auth-20-bytes!"
+        platform = FlickerPlatform(seed=78)
+        tpm = platform.machine.tpm
+        tpm.take_ownership(owner)
+        driver = TPMSessionDriver(platform.machine.os_tpm_interface())
+        cid = driver.create_counter(b"pending", owner)
+        driver.increment_counter(cid)
+        snapshot = tpm.export_state()
+
+        assert driver.increment_counter(cid) == 2  # pending at restore
+        tpm.import_state(snapshot)
+        assert driver.read_counter(cid) == 1
+        assert driver.increment_counter(cid) == 2
+
     def test_restored_platform_still_attests(self):
         platform = FlickerPlatform(seed=99)
         tpm = platform.machine.tpm

@@ -1,0 +1,149 @@
+"""Mutual distrust on one machine: two tenants share the hardware TPM
+yet neither can read, unseal, increment, or attest the other's state."""
+
+import pytest
+
+from repro.core import PAL, FlickerPlatform
+from repro.errors import TPMAuthError, TPMPolicyError, VTPMError
+from repro.tpm.driver import TPMSessionDriver
+
+pytestmark = pytest.mark.vtpm
+
+OWNER = b"owner-auth-20-bytes!"
+NONCE = b"\x5a" * 20
+
+
+class EchoPAL(PAL):
+    name = "echo"
+    modules = ()
+
+    def run(self, ctx):
+        ctx.write_output(b"echo:" + ctx.inputs)
+
+
+def attested_session(platform, tenant, payload):
+    """One full tenant session: execute, attest, verify."""
+    result = platform.execute_pal(EchoPAL(), inputs=payload, nonce=NONCE,
+                                  tenant=tenant)
+    attestation = platform.attest(NONCE, result, tenant=tenant)
+    report = platform.verifier().verify(attestation, result.image, NONCE)
+    return result, attestation, report
+
+
+class TestTwoTenantsOneMachine:
+    """The headline scenario: mutually-distrusting tenants complete
+    attested sessions on one shared machine."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        platform = FlickerPlatform(seed=2008)
+        platform.vtpm.create_tenant("alice", scenario="discrete")
+        platform.vtpm.create_tenant("bob", scenario="mobile")
+        alice = attested_session(platform, "alice", b"alice-payload")
+        bob = attested_session(platform, "bob", b"bob-payload")
+        return platform, alice, bob
+
+    def test_both_attestations_verify(self, outcome):
+        _, (_, _, alice_report), (_, _, bob_report) = outcome
+        assert alice_report.ok
+        assert bob_report.ok
+
+    def test_sessions_carry_their_tenant(self, outcome):
+        _, (alice_result, _, _), (bob_result, _, _) = outcome
+        assert alice_result.tenant == "alice"
+        assert bob_result.tenant == "bob"
+
+    def test_attestations_use_distinct_tenant_aiks(self, outcome):
+        platform, (_, alice_att, _), (_, bob_att, _) = outcome
+        assert (alice_att.aik_certificate.aik_public.n
+                != bob_att.aik_certificate.aik_public.n)
+        # And neither is the platform's own AIK.
+        host_aik = platform.tqd.aik_certificate.aik_public.n
+        assert alice_att.aik_certificate.aik_public.n != host_aik
+
+    def test_certificates_name_the_tenant(self, outcome):
+        _, (_, alice_att, _), (_, bob_att, _) = outcome
+        assert alice_att.aik_certificate.platform_label.endswith(
+            "/tenant/alice")
+        assert bob_att.aik_certificate.platform_label.endswith("/tenant/bob")
+
+    def test_cross_tenant_attestation_refused(self, outcome):
+        platform, (alice_result, _, _), _ = outcome
+        with pytest.raises(VTPMError, match="cross-tenant"):
+            platform.vtpm.attest("bob", NONCE, alice_result)
+
+
+class TestSealedStorageNamespaces:
+    def test_cross_tenant_unseal_denied(self, platform):
+        alice = platform.vtpm.create_tenant("alice")
+        bob = platform.vtpm.create_tenant("bob")
+        blob = alice.seal(b"alice-secret", {})
+        with pytest.raises(VTPMError, match="namespace"):
+            bob.unseal(blob)
+        assert alice.unseal(blob) == b"alice-secret"
+
+    def test_policy_binds_to_virtual_pcrs(self, platform):
+        alice = platform.vtpm.create_tenant("alice")
+        alice.pcr_extend(17, b"\x11" * 20)
+        blob = alice.seal(b"bound", {17: alice.pcr_read(17)})
+        assert alice.unseal(blob) == b"bound"
+        alice.pcr_extend(17, b"\x22" * 20)
+        with pytest.raises(TPMPolicyError):
+            alice.unseal(blob)
+
+
+class TestCounterPartition:
+    def test_virtual_counters_are_per_tenant(self, platform):
+        alice = platform.vtpm.create_tenant("alice")
+        bob = platform.vtpm.create_tenant("bob")
+        cid = alice.create_counter(b"sessions")
+        alice.increment_counter(cid)
+        with pytest.raises(VTPMError, match="no counter"):
+            bob.read_counter(cid)
+        assert alice.read_counter(cid) == 1
+
+    def test_hardware_counters_partition_at_the_chip(self, platform):
+        platform.machine.tpm.take_ownership(OWNER)
+        platform.vtpm.create_tenant("alice")
+        platform.vtpm.create_tenant("bob")
+        alice_driver = TPMSessionDriver(
+            platform.vtpm.hardware_interface("alice"))
+        bob_driver = TPMSessionDriver(
+            platform.vtpm.hardware_interface("bob"))
+        cid = alice_driver.create_counter(b"alice-hw", OWNER)
+        assert alice_driver.increment_counter(cid) == 1
+        with pytest.raises(TPMAuthError, match="not owned by tenant"):
+            bob_driver.increment_counter(cid)
+        with pytest.raises(TPMAuthError, match="not owned by tenant"):
+            bob_driver.read_counter(cid)
+        # The untenanted hardware-owner view still sees everything.
+        owner_driver = TPMSessionDriver(
+            platform.machine.os_tpm_interface())
+        assert owner_driver.read_counter(cid) == 1
+
+
+class TestVirtualPCRMirroring:
+    def test_session_event_log_mirrors_into_virtual_pcr17(self, platform):
+        platform.vtpm.create_tenant("alice")
+        result = platform.execute_pal(EchoPAL(), inputs=b"x", nonce=NONCE,
+                                      tenant="alice")
+        vt = platform.vtpm.tenant("alice")
+        # Replaying the event log over a fresh dynamic-reset register
+        # reproduces the virtual PCR 17 value exactly.
+        from repro.tpm.pcr import PCRBank
+
+        shadow = PCRBank()
+        shadow.dynamic_reset()
+        for _label, measurement in result.event_log:
+            shadow.extend(17, measurement)
+        assert vt.pcrs.read(17) == shadow.read(17)
+
+    def test_second_tenant_sessions_do_not_disturb_the_first(self, platform):
+        platform.vtpm.create_tenant("alice")
+        platform.vtpm.create_tenant("bob")
+        platform.execute_pal(EchoPAL(), inputs=b"a", nonce=NONCE,
+                             tenant="alice")
+        pcr17 = platform.vtpm.tenant("alice").pcrs.read(17)
+        platform.execute_pal(EchoPAL(), inputs=b"b", nonce=NONCE,
+                             tenant="bob")
+        assert platform.vtpm.tenant("alice").pcrs.read(17) == pcr17

@@ -1,0 +1,97 @@
+"""vTPM multiplexer basics: tenant lifecycle, latency profiles, and
+deterministic per-tenant key derivation."""
+
+import pytest
+
+from repro.core import FlickerPlatform
+from repro.errors import VTPMError
+from repro.sim.timing import BROADCOM_BCM0102, SIMTPM_MOBILE
+from repro.vtpm import TENANT_SCENARIOS
+
+pytestmark = pytest.mark.vtpm
+
+
+class TestTenantLifecycle:
+    def test_create_and_lookup(self, platform):
+        vt = platform.vtpm.create_tenant("alice")
+        assert platform.vtpm.tenant("alice") is vt
+        assert platform.vtpm.tenants == ("alice",)
+
+    def test_tenants_sorted(self, platform):
+        platform.vtpm.create_tenant("zoe")
+        platform.vtpm.create_tenant("alice")
+        assert platform.vtpm.tenants == ("alice", "zoe")
+
+    def test_duplicate_tenant_rejected(self, platform):
+        platform.vtpm.create_tenant("alice")
+        with pytest.raises(VTPMError, match="already exists"):
+            platform.vtpm.create_tenant("alice")
+
+    def test_unknown_tenant_rejected(self, platform):
+        with pytest.raises(VTPMError, match="no tenant"):
+            platform.vtpm.tenant("nobody")
+
+    def test_unknown_scenario_rejected(self, platform):
+        with pytest.raises(VTPMError, match="unknown tenant latency scenario"):
+            platform.vtpm.create_tenant("alice", scenario="quantum")
+
+    def test_remove_tenant_evicts(self, platform):
+        platform.vtpm.create_tenant("alice")
+        platform.vtpm.remove_tenant("alice")
+        assert platform.vtpm.tenants == ()
+        with pytest.raises(VTPMError):
+            platform.vtpm.tenant("alice")
+
+    def test_mux_is_lazy_and_cached(self):
+        platform = FlickerPlatform(seed=4242)
+        assert platform.vtpm is platform.vtpm
+
+
+class TestLatencyProfiles:
+    def test_scenario_catalogue(self):
+        assert TENANT_SCENARIOS["discrete"] is BROADCOM_BCM0102
+        assert TENANT_SCENARIOS["mobile"] is SIMTPM_MOBILE
+
+    def test_tenant_ops_charge_the_tenant_profile(self, platform):
+        clock = platform.machine.clock
+        slow = platform.vtpm.create_tenant("slow", scenario="discrete")
+        fast = platform.vtpm.create_tenant("fast", scenario="mobile")
+
+        before = clock.now()
+        slow.pcr_extend(17, b"\xab" * 20)
+        slow_cost = clock.now() - before
+
+        before = clock.now()
+        fast.pcr_extend(17, b"\xab" * 20)
+        fast_cost = clock.now() - before
+
+        assert slow_cost == pytest.approx(BROADCOM_BCM0102.extend_ms)
+        assert fast_cost == pytest.approx(SIMTPM_MOBILE.extend_ms)
+        assert fast_cost < slow_cost
+
+    def test_trace_events_are_tenant_tagged(self, platform):
+        platform.vtpm.create_tenant("alice").pcr_read(17)
+        events = [e for e in platform.machine.trace
+                  if e.source == "vtpm"]
+        assert events
+        assert all(e.detail.get("tenant") == "alice" for e in events)
+
+
+class TestDeterministicKeys:
+    def test_same_seed_same_tenant_same_keys(self):
+        a = FlickerPlatform(seed=2008).vtpm.create_tenant("alice")
+        b = FlickerPlatform(seed=2008).vtpm.create_tenant("alice")
+        assert a.aik_public.n == b.aik_public.n
+        assert a.ek_public.n == b.ek_public.n
+
+    def test_distinct_tenants_get_distinct_keys(self, platform):
+        alice = platform.vtpm.create_tenant("alice")
+        bob = platform.vtpm.create_tenant("bob")
+        assert alice.aik_public.n != bob.aik_public.n
+
+    def test_aik_certificate_enrolls_with_platform_ca(self, platform):
+        platform.vtpm.create_tenant("alice")
+        cert = platform.vtpm.aik_certificate("alice")
+        assert cert.platform_label.endswith("/tenant/alice")
+        # Enrolment is cached: same certificate object on re-request.
+        assert platform.vtpm.aik_certificate("alice") is cert
