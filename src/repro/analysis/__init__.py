@@ -16,6 +16,13 @@ accident, so this package checks both from the source text itself:
 * :mod:`repro.analysis.secret_flow` — tracks values from Unseal /
   GetRandom / key-generation call sites into logs, trace events,
   exception messages and exporter payloads.
+* :mod:`repro.analysis.callgraph` — resolves every call site to its
+  definition(s) (imports, class attribution, name-suffix matching) and
+  pins the summary in ``ANALYSIS_callgraph.json``; the three
+  interprocedural families build on it:
+  :mod:`repro.analysis.interproc` (SEC002 cross-function secret flow),
+  :mod:`repro.analysis.isolation` (ISO001/ISO002 tenant isolation),
+  and :mod:`repro.analysis.races` (RACE001 scheduler-sharing lint).
 
 Drive it with ``python -m repro.tools.lint``; see ``docs/ANALYSIS.md``.
 
@@ -45,7 +52,17 @@ from repro.analysis.engine import (
     run_rules,
     split_baselined,
 )
-from repro.analysis import determinism, secret_flow, tcb  # noqa: F401  (register rules)
+from repro.analysis.engine import run_rules_timed
+from repro.analysis import (  # noqa: F401  (register rules)
+    callgraph,
+    determinism,
+    interproc,
+    isolation,
+    races,
+    secret_flow,
+    tcb,
+)
+from repro.analysis.callgraph import generate_callgraph_report, get_callgraph
 from repro.analysis.tcb import generate_tcb_report
 
 __all__ = [
@@ -54,11 +71,14 @@ __all__ = [
     "Rule",
     "all_rules",
     "analyze_source",
+    "generate_callgraph_report",
     "generate_tcb_report",
+    "get_callgraph",
     "get_rule",
     "load_baseline",
     "load_project",
     "render_baseline",
     "run_rules",
+    "run_rules_timed",
     "split_baselined",
 ]

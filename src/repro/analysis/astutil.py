@@ -61,22 +61,33 @@ def _is_type_checking_test(test: ast.AST) -> bool:
     return dotted_name(test) in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
 
 
-def _resolve_relative(module: str, level: int, base: str) -> str:
-    """Absolute dotted target of a ``from ...base import x`` statement."""
+def resolve_relative(
+    module: str, level: int, base: str, is_package: bool = False
+) -> str:
+    """Absolute dotted target of a ``from ...base import x`` statement.
+
+    ``module`` is the importing module; pass ``is_package=True`` for a
+    package ``__init__`` (whose single leading dot names the package
+    itself rather than its parent).
+    """
     parts = module.split(".") if module else []
-    parent = ".".join(parts[: max(len(parts) - level + 1, 0)])
+    keep = len(parts) - level + (1 if is_package else 0)
+    parent = ".".join(parts[: max(keep, 0)])
     if base and parent:
         return f"{parent}.{base}"
     return base or parent
 
 
-def iter_imports(tree: ast.AST, module: str = "") -> Iterator[ImportEdge]:
+def iter_imports(
+    tree: ast.AST, module: str = "", is_package: bool = False
+) -> Iterator[ImportEdge]:
     """Every import in ``tree``, including function-local ones.
 
     ``from pkg import name`` yields ``pkg.name`` *and* ``pkg`` — the
     caller resolves which of the two an edge should target (only one
     will exist as a module).  Relative imports are resolved against
-    ``module``; imports under ``if TYPE_CHECKING:`` are marked.
+    ``module`` (pass ``is_package=True`` for ``__init__`` modules);
+    imports under ``if TYPE_CHECKING:`` are marked.
     """
 
     def visit(node: ast.AST, type_checking: bool) -> Iterator[ImportEdge]:
@@ -87,7 +98,7 @@ def iter_imports(tree: ast.AST, module: str = "") -> Iterator[ImportEdge]:
         if isinstance(node, ast.ImportFrom):
             base = node.module or ""
             if node.level:
-                base = _resolve_relative(module, node.level, base)
+                base = resolve_relative(module, node.level, base, is_package)
             if base:
                 yield ImportEdge(base, node.lineno, type_checking)
                 for alias in node.names:

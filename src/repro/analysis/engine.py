@@ -25,8 +25,11 @@ run.
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import time
+import tokenize
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -123,6 +126,16 @@ def get_rule(rule_id: str) -> Optional[Rule]:
 # -- source files and projects -------------------------------------------------
 
 
+@dataclass(frozen=True)
+class SuppressionRecord:
+    """One ``# repro: noqa`` marker, as written in the source."""
+
+    line: int
+    ids: frozenset
+    #: True for a standalone comment line (file-wide suppression).
+    standalone: bool
+
+
 @dataclass
 class SourceFile:
     """One parsed Python source file."""
@@ -135,6 +148,8 @@ class SourceFile:
     file_suppressions: frozenset = frozenset()
     #: line number → suppressed rule ids ("*" = all rules).
     line_suppressions: Dict[int, frozenset] = field(default_factory=dict)
+    #: Every suppression marker, in source order (SUP001 audits these).
+    suppression_records: List[SuppressionRecord] = field(default_factory=list)
 
     @property
     def lines(self) -> List[str]:
@@ -147,29 +162,50 @@ class SourceFile:
         return False
 
 
-def _parse_suppressions(text: str) -> Tuple[frozenset, Dict[int, frozenset]]:
+def _parse_suppressions(
+    text: str,
+) -> Tuple[frozenset, Dict[int, frozenset], List[SuppressionRecord]]:
+    """Suppressions from *comment tokens only*.
+
+    Tokenizing (rather than regex-scanning raw lines) means a noqa
+    marker quoted inside a triple-quoted string is just data, and a
+    single comment stacking several markers
+    (``# repro: noqa[A] # repro: noqa[B]``) applies all of them.
+    """
     file_ids: set = set()
     line_ids: Dict[int, set] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _NOQA_RE.search(line)
-        if not match:
+    records: List[SuppressionRecord] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        tokens = []  # ast.parse already vouched for the file; be lenient
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
             continue
-        ids = (
-            frozenset(p.strip() for p in match.group(1).split(",") if p.strip())
-            if match.group(1)
-            else frozenset(["*"])
-        )
-        if line[: match.start()].strip() == "":  # standalone comment: file-wide
-            file_ids.update(ids)
-        else:
-            line_ids.setdefault(lineno, set()).update(ids)
-    return frozenset(file_ids), {k: frozenset(v) for k, v in line_ids.items()}
+        lineno = token.start[0]
+        standalone = token.line[: token.start[1]].strip() == ""
+        for match in _NOQA_RE.finditer(token.string):
+            ids = (
+                frozenset(p.strip() for p in match.group(1).split(",") if p.strip())
+                if match.group(1)
+                else frozenset(["*"])
+            )
+            records.append(SuppressionRecord(lineno, ids, standalone))
+            if standalone:
+                file_ids.update(ids)
+            else:
+                line_ids.setdefault(lineno, set()).update(ids)
+    return (
+        frozenset(file_ids),
+        {k: frozenset(v) for k, v in line_ids.items()},
+        records,
+    )
 
 
 def parse_source(text: str, relpath: str, module: str) -> SourceFile:
     """Parse one file's text into a :class:`SourceFile`."""
     tree = ast.parse(text, filename=relpath)
-    file_ids, line_ids = _parse_suppressions(text)
+    file_ids, line_ids, records = _parse_suppressions(text)
     return SourceFile(
         relpath=relpath,
         module=module,
@@ -177,6 +213,7 @@ def parse_source(text: str, relpath: str, module: str) -> SourceFile:
         tree=tree,
         file_suppressions=file_ids,
         line_suppressions=line_ids,
+        suppression_records=records,
     )
 
 
@@ -232,18 +269,47 @@ def load_project(root: Path, paths: Iterable[str] = ("src/repro",)) -> Project:
 # -- running rules -------------------------------------------------------------
 
 
-def run_rules(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
-    """Run rules over the project; suppressions applied, output sorted."""
+def _wall_seconds() -> float:
+    """Wall time for rule profiling (``meta.rule_timings`` and
+    ``--profile``) — never byte-compared, unlike everything else."""
+    return time.perf_counter()  # repro: noqa[DET001]
+
+
+def run_rules_timed(
+    project: Project, rules: Optional[Iterable[Rule]] = None
+) -> Tuple[List[Finding], Dict[str, Dict[str, float]]]:
+    """Like :func:`run_rules`, also returning per-rule stats.
+
+    The stats map ``rule id -> {"wall_ms": ..., "findings": ...}`` where
+    ``findings`` counts the rule's *kept* findings (after suppressions).
+    """
     findings: List[Finding] = []
+    stats: Dict[str, Dict[str, float]] = {}
     for rule in rules if rules is not None else all_rules():
-        findings.extend(rule.check_project(project))
+        started = _wall_seconds()
+        produced = list(rule.check_project(project))
+        stats[rule.id] = {
+            "wall_ms": (_wall_seconds() - started) * 1000.0,
+            "findings": 0,
+        }
+        findings.extend(produced)
     kept = []
     for finding in findings:
         source = next((f for f in project.files if f.relpath == finding.path), None)
         if source is not None and source.suppressed(finding.rule, finding.line):
             continue
         kept.append(finding)
-    return sorted(set(kept), key=Finding.sort_key)
+    result = sorted(set(kept), key=Finding.sort_key)
+    for finding in result:
+        if finding.rule in stats:
+            stats[finding.rule]["findings"] += 1
+    return result, stats
+
+
+def run_rules(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Run rules over the project; suppressions applied, output sorted."""
+    findings, _ = run_rules_timed(project, rules)
+    return findings
 
 
 def analyze_source(
@@ -292,6 +358,38 @@ def render_baseline(findings: Iterable[Finding]) -> str:
         "findings": entries,
     }
     return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+# -- suppression hygiene -------------------------------------------------------
+
+
+@register
+class UnknownSuppressionRule(Rule):
+    """Every ``# repro: noqa[RULE-ID]`` must name a registered rule.
+
+    A suppression naming a rule that does not exist silences nothing —
+    it is almost always a typo (``SEC01`` for ``SEC001``) or a leftover
+    from a rule that was renamed, and the author believes a finding is
+    suppressed when it is not (or worse: the typo'd suppression was
+    *meant* to hide a real finding that is now invisible in review).
+
+    Fix the id, or delete the stale marker.  ``# repro: noqa`` with no
+    bracket (suppress everything) is exempt — it names no rule.
+    """
+
+    id = "SUP001"
+    title = "suppression names an unknown rule id"
+    severity = "error"
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        for record in source.suppression_records:
+            for rule_id in sorted(record.ids):
+                if rule_id != "*" and rule_id not in _RULES:
+                    yield self.finding(
+                        source, record.line,
+                        f"suppression names unknown rule '{rule_id}' "
+                        "(see --list-rules); fix or remove it",
+                    )
 
 
 def split_baselined(

@@ -1,0 +1,545 @@
+"""Interprocedural taint: secrets tracked across function boundaries.
+
+SEC001 is deliberately intra-procedural — inside one function, a value
+from ``unseal``/``get_random``/key generation must not reach a sink.
+What it structurally cannot see is the wrapper:
+
+.. code-block:: python
+
+    def load_key(ctx):
+        return ctx.tpm.unseal(blob)      # fine on its own
+
+    def report(ctx, log):
+        log.info(load_key(ctx))          # the leak — two functions away
+
+This module computes *function summaries* over the call graph
+(:mod:`repro.analysis.callgraph`) and propagates taint through them:
+
+``returns_secret``
+    the function's return value carries secret material regardless of
+    its arguments (it calls a source, or reads a secret attribute);
+``param_to_return``
+    parameters whose taint flows to the return value (decoder/wrapper
+    functions);
+``param_to_sink``
+    parameters whose taint reaches a sink inside the function —
+    passing a secret *into* such a function is itself a leak;
+``secret attributes``
+    ``self.attr = <secret>`` stores, so a method that stashes unsealed
+    material and a sibling method that logs it are connected.
+
+Summaries are iterated to a fixpoint (the project graph is finite and
+labels only grow), then a detection pass re-walks every function and
+fires on flows SEC001 cannot have reported.  Calls resolve through
+precise call-graph edges plus *unambiguous* suffix matches only;
+multi-candidate suffix edges are ignored, trading recall for a
+zero-false-positive default.  The sanitizer vocabulary is shared with
+SEC001: digests and lengths of secrets are public by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    get_callgraph,
+    resolve_call,
+)
+from repro.analysis.engine import Finding, Project, Rule, register
+from repro.analysis.secret_flow import (
+    SECRET_SOURCE_SUFFIXES,
+    SINK_SUFFIXES,
+    _assign_targets,
+    _contains_source_call,
+    _is_sanitizer_call,
+    _names_in,
+    _suffix_hit,
+)
+
+#: Attribute selections that *declassify*: reading the public half of a
+#: keypair (``keys.public``, ``authority.public_key``) yields a value
+#: the protocols publish by construction.  The private halves
+#: (``.private``) keep their taint.
+PUBLIC_ATTRS = ("public", "public_key")
+
+#: Label meaning "directly from a base source call" — SEC001 territory.
+SECRET = "secret"
+#: Label meaning "secret via at least one function boundary".
+XSECRET = "xsecret"
+
+_SECRETISH = frozenset((SECRET, XSECRET))
+
+
+@dataclass
+class TaintConfig:
+    """Vocabulary for one interprocedural taint analysis."""
+
+    source_suffixes: Tuple[str, ...] = SECRET_SOURCE_SUFFIXES
+    sink_suffixes: Tuple[str, ...] = SINK_SUFFIXES
+    #: When False, flows SEC001 already reports (same-function source →
+    #: sink) are skipped so each leak is reported exactly once.
+    fire_intra: bool = False
+    #: How findings name the tainted value (ISO002 overrides these).
+    noun: str = "secret from another function"
+    param_noun: str = "secret value"
+
+
+@dataclass
+class Summary:
+    """What one function does with secrets and with its parameters."""
+
+    returns_secret: bool = False
+    param_to_return: Set[str] = field(default_factory=set)
+    param_to_sink: Set[str] = field(default_factory=set)
+
+    def snapshot(self) -> Tuple[bool, frozenset, frozenset]:
+        return (
+            self.returns_secret,
+            frozenset(self.param_to_return),
+            frozenset(self.param_to_sink),
+        )
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One interprocedural flow, pre-Rule packaging."""
+
+    relpath: str
+    line: int
+    message: str
+
+
+class TaintAnalysis:
+    """Summary computation + detection for one :class:`TaintConfig`."""
+
+    #: Fixpoint bounds: the label lattice is tiny, so these are never
+    #: reached in practice — they are a defensive cap, not a tuning knob.
+    MAX_GLOBAL_ROUNDS = 10
+    MAX_LOCAL_ROUNDS = 20
+
+    def __init__(self, project: Project, config: TaintConfig) -> None:
+        self.project = project
+        self.config = config
+        self.graph: CallGraph = get_callgraph(project)
+        self.summaries: Dict[str, Summary] = {
+            q: Summary() for q in self.graph.functions
+        }
+        #: ``(class qualname, attr name)`` holding secret material.
+        self.secret_attrs: Set[Tuple[str, str]] = set()
+        self._resolution_cache: Dict[int, List[str]] = {}
+        self._stmt_cache: Dict[str, List[ast.stmt]] = {}
+        self._compute_summaries()
+
+    # -- call resolution -------------------------------------------------------
+
+    def _callees_at(self, info: FunctionInfo, call: ast.Call) -> List[str]:
+        """Actionable callee qualnames for one call site (precise edges
+        plus unambiguous suffix matches)."""
+        key = id(call)
+        if key not in self._resolution_cache:
+            source = self.project.by_module.get(info.module)
+            resolved = (
+                resolve_call(self.graph, source, info.class_name, call)
+                if source is not None else []
+            )
+            if len(resolved) > 1 and resolved[0][1] == "suffix":
+                resolved = []  # ambiguous — do not act on it
+            self._resolution_cache[key] = [
+                callee for callee, _ in resolved
+                if callee in self.graph.functions
+            ]
+        return self._resolution_cache[key]
+
+    def _map_args(
+        self, callee: FunctionInfo, call: ast.Call
+    ) -> List[Tuple[str, ast.expr]]:
+        """``(parameter name, argument expression)`` pairs for a call.
+
+        Method calls written through a receiver (``obj.meth(x)``) bind
+        the first declared parameter implicitly, so positionals shift
+        by one.  Overflow into ``*args``/``**kwargs`` is dropped.
+        """
+        offset = (
+            1 if callee.is_method and callee.params
+            and callee.params[0] in ("self", "cls") else 0
+        )
+        pairs: List[Tuple[str, ast.expr]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            slot = index + offset
+            if slot < len(callee.params):
+                pairs.append((callee.params[slot], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in callee.params:
+                pairs.append((keyword.arg, keyword.value))
+        return pairs
+
+    # -- label evaluation ------------------------------------------------------
+
+    def _expr_labels(
+        self,
+        node: ast.AST,
+        env: Dict[str, Set[str]],
+        info: FunctionInfo,
+    ) -> Set[str]:
+        """Taint labels carried by an expression.
+
+        Labels are ``secret`` (base source call), ``xsecret`` (crossed a
+        function boundary), and ``param:<name>`` (depends on a caller
+        argument — used only while computing summaries).
+        """
+        labels: Set[str] = set()
+
+        def visit(sub: ast.AST) -> None:
+            if _is_sanitizer_call(sub):
+                return  # a digest/length of a secret is public
+            if isinstance(sub, ast.Name):
+                labels.update(env.get(sub.id, ()))
+            elif isinstance(sub, ast.Attribute):
+                if sub.attr in PUBLIC_ATTRS:
+                    return  # the public half of a keypair is public
+                chain = dotted_name(sub)
+                if (
+                    chain is not None
+                    and chain.startswith(("self.", "cls."))
+                    and chain.count(".") == 1
+                    and info.class_name is not None
+                ):
+                    key = (f"{info.module}.{info.class_name}", sub.attr)
+                    if key in self.secret_attrs:
+                        labels.add(XSECRET)
+            elif isinstance(sub, ast.Call):
+                if self._call_labels(sub, env, info, labels):
+                    # A source call, or one resolved to a project
+                    # function: the summary decides what flows out, so
+                    # a tainted *argument* does not taint the result
+                    # (a constructor given a secret does not make the
+                    # whole object secret).  Unresolved calls (str(),
+                    # .hex(), joins) stay conservative below.
+                    return
+            for child in ast.iter_child_nodes(sub):
+                visit(child)
+
+        visit(node)
+        return labels
+
+    def _call_labels(
+        self,
+        call: ast.Call,
+        env: Dict[str, Set[str]],
+        info: FunctionInfo,
+        labels: Set[str],
+    ) -> bool:
+        """Labels a call's result carries; True when the call was a
+        source or resolved to project callees (summary is authoritative)."""
+        if _suffix_hit(dotted_name(call.func), self.config.source_suffixes):
+            labels.add(SECRET)
+            return True
+        callees = self._callees_at(info, call)
+        for callee_qual in callees:
+            summary = self.summaries[callee_qual]
+            if summary.returns_secret:
+                labels.add(XSECRET)
+            if summary.param_to_return:
+                callee = self.graph.functions[callee_qual]
+                for pname, arg in self._map_args(callee, call):
+                    if pname not in summary.param_to_return:
+                        continue
+                    arg_labels = self._expr_labels(arg, env, info)
+                    if arg_labels & _SECRETISH:
+                        labels.add(XSECRET)
+                    labels.update(
+                        label for label in arg_labels
+                        if label.startswith("param:")
+                    )
+        return bool(callees)
+
+    # -- per-function walk -----------------------------------------------------
+
+    def _function_statements(self, info: FunctionInfo) -> List[ast.stmt]:
+        statements = self._stmt_cache.get(info.qualname)
+        if statements is None:
+            statements = [
+                s for s in ast.walk(info.node) if isinstance(s, ast.stmt)
+            ]
+            statements.sort(key=lambda s: (s.lineno, s.col_offset))
+            self._stmt_cache[info.qualname] = statements
+        return statements
+
+    def _propagate(
+        self,
+        info: FunctionInfo,
+        env: Dict[str, Set[str]],
+        statements: List[ast.stmt],
+        summary: Optional[Summary],
+    ) -> None:
+        """Run assignments to a local fixpoint; when ``summary`` is
+        given, also record ``self.attr`` secret stores."""
+        for _ in range(self.MAX_LOCAL_ROUNDS):
+            changed = False
+            for statement in statements:
+                value = getattr(statement, "value", None)
+                if isinstance(statement, ast.For):
+                    value = statement.iter
+                    targets = (
+                        [statement.target.id]
+                        if isinstance(statement.target, ast.Name) else []
+                    )
+                else:
+                    targets = _assign_targets(statement)
+                if value is None:
+                    continue
+                labels = self._expr_labels(value, env, info)
+                if not labels:
+                    continue
+                for name in targets:
+                    if not labels <= env.setdefault(name, set()):
+                        env[name].update(labels)
+                        changed = True
+                if (
+                    summary is not None
+                    and isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign))
+                    and labels & _SECRETISH
+                    and info.class_name is not None
+                ):
+                    raw_targets = (
+                        statement.targets
+                        if isinstance(statement, ast.Assign)
+                        else [statement.target]
+                    )
+                    for target in raw_targets:
+                        chain = dotted_name(target)
+                        if (
+                            chain is not None
+                            and chain.startswith(("self.", "cls."))
+                            and chain.count(".") == 1
+                        ):
+                            key = (
+                                f"{info.module}.{info.class_name}",
+                                chain.split(".", 1)[1],
+                            )
+                            if key not in self.secret_attrs:
+                                self.secret_attrs.add(key)
+                                changed = True
+            if not changed:
+                return
+
+    # -- summaries -------------------------------------------------------------
+
+    def _compute_summaries(self) -> None:
+        order = sorted(self.graph.functions)
+        for _ in range(self.MAX_GLOBAL_ROUNDS):
+            before = {
+                q: self.summaries[q].snapshot() for q in order
+            }
+            attrs_before = set(self.secret_attrs)
+            for qualname in order:
+                self._summarize(self.graph.functions[qualname])
+            if (
+                all(self.summaries[q].snapshot() == before[q] for q in order)
+                and self.secret_attrs == attrs_before
+            ):
+                return
+
+    def _summarize(self, info: FunctionInfo) -> None:
+        summary = self.summaries[info.qualname]
+        env: Dict[str, Set[str]] = {
+            p: {f"param:{p}"} for p in info.params if p not in ("self", "cls")
+        }
+        statements = self._function_statements(info)
+        self._propagate(info, env, statements, summary)
+        for statement in statements:
+            if isinstance(statement, ast.Return) and statement.value is not None:
+                labels = self._expr_labels(statement.value, env, info)
+                if labels & _SECRETISH:
+                    summary.returns_secret = True
+                summary.param_to_return.update(
+                    label.split(":", 1)[1] for label in labels
+                    if label.startswith("param:")
+                )
+            for node in ast.walk(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                sink_params = self._sink_arg_params(node, env, info)
+                summary.param_to_sink.update(sink_params)
+        # Generators publish through ``yield`` like a return.
+        if info.is_generator:
+            for statement in statements:
+                for node in ast.walk(statement):
+                    if isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value:
+                        labels = self._expr_labels(node.value, env, info)
+                        if labels & _SECRETISH:
+                            summary.returns_secret = True
+                        summary.param_to_return.update(
+                            label.split(":", 1)[1] for label in labels
+                            if label.startswith("param:")
+                        )
+
+    def _sink_arg_params(
+        self, call: ast.Call, env: Dict[str, Set[str]], info: FunctionInfo
+    ) -> Set[str]:
+        """Parameters whose taint this call would publish: direct sink
+        calls, plus calls into a callee with ``param_to_sink``."""
+        params: Set[str] = set()
+        if _suffix_hit(dotted_name(call.func), self.config.sink_suffixes):
+            for arg in list(call.args) + [k.value for k in call.keywords]:
+                params.update(
+                    label.split(":", 1)[1]
+                    for label in self._expr_labels(arg, env, info)
+                    if label.startswith("param:")
+                )
+        for callee_qual in self._callees_at(info, call):
+            callee_summary = self.summaries[callee_qual]
+            if not callee_summary.param_to_sink:
+                continue
+            callee = self.graph.functions[callee_qual]
+            for pname, arg in self._map_args(callee, call):
+                if pname in callee_summary.param_to_sink:
+                    params.update(
+                        label.split(":", 1)[1]
+                        for label in self._expr_labels(arg, env, info)
+                        if label.startswith("param:")
+                    )
+        return params
+
+    # -- detection -------------------------------------------------------------
+
+    def findings(self) -> List[TaintFinding]:
+        """Flows visible with *no* assumptions about caller arguments."""
+        found: List[TaintFinding] = []
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            found.extend(self._detect(info))
+        return found
+
+    def _detect(self, info: FunctionInfo) -> Iterable[TaintFinding]:
+        env: Dict[str, Set[str]] = {}
+        statements = self._function_statements(info)
+        self._propagate(info, env, statements, None)
+        # SEC001's own intra-procedural taint, used to avoid reporting
+        # the same leak twice when ``fire_intra`` is off.
+        intra: Set[str] = {
+            name for name, labels in env.items() if SECRET in labels
+        }
+        fire_on = (
+            _SECRETISH if self.config.fire_intra else frozenset((XSECRET,))
+        )
+        for statement in statements:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Call):
+                    yield from self._detect_call(node, env, info, intra, fire_on)
+                elif isinstance(node, ast.Raise) and node.exc is not None:
+                    yield from self._detect_raise(node, env, info, fire_on)
+
+    def _already_sec001(
+        self, arg: ast.expr, intra: Set[str]
+    ) -> bool:
+        """Would SEC001 flag this sink argument on its own?"""
+        if self.config.fire_intra:
+            return False
+        return bool(_names_in(arg) & intra) or _contains_source_call(arg)
+
+    def _detect_call(
+        self,
+        call: ast.Call,
+        env: Dict[str, Set[str]],
+        info: FunctionInfo,
+        intra: Set[str],
+        fire_on: frozenset,
+    ) -> Iterable[TaintFinding]:
+        hit = _suffix_hit(dotted_name(call.func), self.config.sink_suffixes)
+        if hit:
+            for arg in list(call.args) + [k.value for k in call.keywords]:
+                labels = self._expr_labels(arg, env, info)
+                if labels & fire_on and not self._already_sec001(arg, intra):
+                    yield TaintFinding(
+                        info.relpath, call.lineno,
+                        f"{self.config.noun} reaches '{hit}' in "
+                        f"{info.qualname}; publish a digest or length "
+                        "instead",
+                    )
+                    break
+        for callee_qual in self._callees_at(info, call):
+            summary = self.summaries[callee_qual]
+            if not summary.param_to_sink:
+                continue
+            callee = self.graph.functions[callee_qual]
+            for pname, arg in self._map_args(callee, call):
+                if pname not in summary.param_to_sink:
+                    continue
+                labels = self._expr_labels(arg, env, info)
+                if labels & _SECRETISH:
+                    yield TaintFinding(
+                        info.relpath, call.lineno,
+                        f"{self.config.param_noun} passed to "
+                        f"{callee.qualname}() parameter '{pname}', "
+                        "which publishes it",
+                    )
+                    break
+
+    def _detect_raise(
+        self,
+        node: ast.Raise,
+        env: Dict[str, Set[str]],
+        info: FunctionInfo,
+        fire_on: frozenset,
+    ) -> Iterable[TaintFinding]:
+        exc = node.exc
+        exprs: List[ast.expr] = []
+        if isinstance(exc, ast.Call):
+            exprs = list(exc.args) + [k.value for k in exc.keywords]
+        elif isinstance(exc, ast.Name):
+            exprs = [exc]
+        for expr in exprs:
+            if self._expr_labels(expr, env, info) & fire_on:
+                yield TaintFinding(
+                    info.relpath, node.lineno,
+                    f"{self.config.noun} reaches an exception message "
+                    f"in {info.qualname}; exceptions cross the trust "
+                    "boundary",
+                )
+                return
+
+
+def run_taint(project: Project, config: TaintConfig) -> List[TaintFinding]:
+    """One full analysis pass; convenience for rules and tests."""
+    return TaintAnalysis(project, config).findings()
+
+
+@register
+class InterproceduralSecretFlowRule(Rule):
+    """Secrets must not leak through wrapper functions into sinks.
+
+    Where SEC001 checks one function at a time, SEC002 propagates taint
+    from ``unseal``/``get_random``/key-generation calls through function
+    summaries computed over the project call graph: a function that
+    *returns* a secret, *forwards* a parameter to its return value,
+    *publishes* a parameter to a sink, or *stores* a secret on ``self``
+    extends the flow into every caller.  A finding fires when such a
+    cross-function flow reaches the SEC001 sinks (logging, trace
+    events, observability spans, ``print``, raised exception messages).
+
+    The same sanitizers apply — route the value through ``sha1``/
+    ``len``/``io_measurement`` to publish a digest or size.  Calls only
+    propagate through precise call-graph edges and unambiguous
+    name-suffix matches, so a finding always names a concrete callee;
+    fix the flow, or suppress with ``# repro: noqa[SEC002]`` plus a
+    justification.
+    """
+
+    id = "SEC002"
+    title = "interprocedural secret flow reaches an output channel"
+    severity = "error"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for hit in run_taint(project, TaintConfig()):
+            yield Finding(
+                self.id, hit.relpath, hit.line, hit.message, self.severity
+            )

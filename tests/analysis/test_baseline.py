@@ -71,6 +71,77 @@ class TestSuppressions:
         assert not source.suppressed("DET001", 1)
 
 
+class TestSuppressionEdgeCases:
+    def test_noqa_inside_triple_quoted_string_is_data(self):
+        # The marker is string *content*, not a comment token — it must
+        # not become a file-wide suppression.
+        findings = analyze_source(
+            'DOC = """\n'
+            "# repro: noqa[DET001]\n"
+            '"""\n'
+            "import time\n"
+            "def stamp(report):\n"
+            "    report['at'] = time.time()\n",
+            module="repro.sim.example",
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_noqa_in_string_on_finding_line_is_data(self):
+        findings = analyze_source(
+            "import time\n"
+            "def stamp(report):\n"
+            "    report['at'] = (time.time(), '# repro: noqa[DET001]')\n",
+            module="repro.sim.example",
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_stacked_markers_in_one_comment_all_apply(self):
+        findings = analyze_source(
+            "import time, os\n"
+            "def stamp(report):\n"
+            "    report['x'] = (time.time(), os.urandom(8))"
+            "  # repro: noqa[DET001] # repro: noqa[DET002]\n",
+            module="repro.sim.example",
+        )
+        assert findings == []
+
+    def test_unknown_rule_id_is_a_finding(self):
+        findings = analyze_source(
+            "x = 1  # repro: noqa[NOPE999]\n",
+            module="repro.sim.example",
+        )
+        assert [(f.rule, f.line) for f in findings] == [("SUP001", 1)]
+        assert "NOPE999" in findings[0].message
+
+    def test_typoed_suppression_silences_nothing(self):
+        # The mistyped id neither suppresses the real finding nor
+        # escapes the SUP001 audit.
+        findings = analyze_source(
+            "import time\n"
+            "def stamp(report):\n"
+            "    report['at'] = time.time()  # repro: noqa[DET01]\n",
+            module="repro.sim.example",
+        )
+        assert sorted(f.rule for f in findings) == ["DET001", "SUP001"]
+
+    def test_bare_noqa_is_exempt_from_sup001(self):
+        findings = analyze_source(
+            "import time\n"
+            "def stamp(report):\n"
+            "    report['at'] = time.time()  # repro: noqa\n",
+            module="repro.sim.example",
+        )
+        assert findings == []
+
+    def test_standalone_unknown_id_flagged_once(self):
+        findings = analyze_source(
+            "# repro: noqa[GONE042]\n"
+            "x = 1\n",
+            module="repro.sim.example",
+        )
+        assert [(f.rule, f.line) for f in findings] == [("SUP001", 1)]
+
+
 class TestBaseline:
     def test_round_trip(self, tmp_path):
         findings = analyze_source(WALL_CLOCK_SNIPPET, module="repro.sim.example")

@@ -1,0 +1,313 @@
+"""Call-graph builder unit tests plus the committed-report regression:
+``ANALYSIS_callgraph.json`` is exact, and regeneration is deterministic —
+the same pinning discipline as ``ANALYSIS_tcb.json``.
+"""
+
+import json
+import pathlib
+import textwrap
+
+from repro.analysis import load_project
+from repro.analysis.callgraph import (
+    CALLGRAPH_REPORT_FORMAT,
+    CALLGRAPH_REPORT_NAME,
+    CallGraphReportStaleRule,
+    build_callgraph,
+    generate_callgraph_report,
+    get_callgraph,
+    module_bindings,
+)
+from repro.analysis.engine import Project, parse_source, run_rules
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def make_project(tmp_path, files):
+    sources = []
+    for relpath, text in sorted(files.items()):
+        module = relpath.replace("src/", "").replace("/", ".")[: -len(".py")]
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        sources.append(parse_source(textwrap.dedent(text), relpath, module))
+    return Project(root=tmp_path, files=sources)
+
+
+def edges_of(graph, caller):
+    return [(e.callee, e.resolution, e.ambiguous)
+            for e in graph.out_edges.get(caller, ())]
+
+
+# -- resolution tiers ----------------------------------------------------------
+
+class TestResolution:
+    def test_local_function_call(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                def helper():
+                    return 1
+
+                def caller():
+                    return helper()
+            """,
+        }))
+        assert edges_of(graph, "repro.a.caller") == [
+            ("repro.a.helper", "local", False)]
+
+    def test_from_import_call(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": "def helper():\n    return 1\n",
+            "src/repro/b.py": """
+                from repro.a import helper
+
+                def caller():
+                    return helper()
+            """,
+        }))
+        assert edges_of(graph, "repro.b.caller") == [
+            ("repro.a.helper", "import", False)]
+
+    def test_module_alias_attribute_call(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": "def helper():\n    return 1\n",
+            "src/repro/b.py": """
+                import repro.a as lib
+
+                def caller():
+                    return lib.helper()
+            """,
+        }))
+        assert edges_of(graph, "repro.b.caller") == [
+            ("repro.a.helper", "import", False)]
+
+    def test_relative_import_call(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/pkg/a.py": "def helper():\n    return 1\n",
+            "src/repro/pkg/b.py": """
+                from .a import helper
+
+                def caller():
+                    return helper()
+            """,
+        }))
+        assert edges_of(graph, "repro.pkg.b.caller") == [
+            ("repro.pkg.a.helper", "import", False)]
+
+    def test_constructor_resolves_to_init(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                class Widget:
+                    def __init__(self, size):
+                        self.size = size
+
+                def caller():
+                    return Widget(3)
+            """,
+        }))
+        assert edges_of(graph, "repro.a.caller") == [
+            ("repro.a.Widget.__init__", "local", False)]
+
+    def test_self_method_call(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                class Widget:
+                    def shrink(self):
+                        return self.resize(-1)
+
+                    def resize(self, by):
+                        return by
+            """,
+        }))
+        assert edges_of(graph, "repro.a.Widget.shrink") == [
+            ("repro.a.Widget.resize", "class", False)]
+
+    def test_self_method_walks_bases(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/base.py": """
+                class Base:
+                    def resize(self, by):
+                        return by
+            """,
+            "src/repro/a.py": """
+                from repro.base import Base
+
+                class Widget(Base):
+                    def shrink(self):
+                        return self.resize(-1)
+            """,
+        }))
+        assert edges_of(graph, "repro.a.Widget.shrink") == [
+            ("repro.base.Base.resize", "class", False)]
+
+    def test_unambiguous_suffix_match(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                class Chip:
+                    def nv_write(self, index, data):
+                        return data
+            """,
+            "src/repro/b.py": """
+                def caller(chip):
+                    return chip.nv_write(1, b"x")
+            """,
+        }))
+        assert edges_of(graph, "repro.b.caller") == [
+            ("repro.a.Chip.nv_write", "suffix", False)]
+
+    def test_multi_candidate_suffix_is_ambiguous(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": "class A:\n    def emit(self):\n        pass\n",
+            "src/repro/b.py": "class B:\n    def emit(self):\n        pass\n",
+            "src/repro/c.py": """
+                def caller(sink):
+                    sink.emit()
+            """,
+        }))
+        edges = edges_of(graph, "repro.c.caller")
+        assert len(edges) == 2
+        assert all(resolution == "suffix" and ambiguous
+                   for _, resolution, ambiguous in edges)
+        # Rules act on neither candidate.
+        assert graph.callees("repro.c.caller") == []
+
+    def test_module_level_calls_attribute_to_pseudo_caller(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                def setup():
+                    return {}
+
+                REGISTRY = setup()
+            """,
+        }))
+        assert edges_of(graph, "repro.a.<module>") == [
+            ("repro.a.setup", "local", False)]
+
+    def test_nested_def_attributes_to_enclosing_function(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                def helper():
+                    return 1
+
+                def outer():
+                    def inner():
+                        return helper()
+                    return inner
+            """,
+        }))
+        assert edges_of(graph, "repro.a.outer") == [
+            ("repro.a.helper", "local", False)]
+        # The nested def itself is not a call target.
+        assert "repro.a.outer.inner" not in graph.functions
+        assert "repro.a.inner" not in graph.functions
+
+
+class TestFunctionIndex:
+    def test_generator_detection_ignores_nested_defs(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                def plain():
+                    def gen():
+                        yield 1
+                    return gen
+
+                def looping():
+                    yield from range(3)
+            """,
+        }))
+        assert not graph.functions["repro.a.plain"].is_generator
+        assert graph.functions["repro.a.looping"].is_generator
+
+    def test_params_and_method_flag(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                class Widget:
+                    def resize(self, by, *extra, scale=1, **rest):
+                        return by
+            """,
+        }))
+        info = graph.functions["repro.a.Widget.resize"]
+        assert info.is_method
+        assert info.params == ("self", "by", "scale")
+        assert info.has_vararg and info.has_kwarg
+
+    def test_module_bindings(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/b.py": (
+                "import repro.a as lib\n"
+                "from repro.a import helper as h\n"
+                "import os.path\n"
+            ),
+        })
+        bindings = module_bindings(project.files[0])
+        assert bindings["lib"] == "repro.a"
+        assert bindings["h"] == "repro.a.helper"
+        assert bindings["os"] == "os"
+
+
+class TestReachability:
+    def test_reachable_follows_actionable_edges(self, tmp_path):
+        graph = build_callgraph(make_project(tmp_path, {
+            "src/repro/a.py": """
+                def leaf():
+                    return 1
+
+                def mid():
+                    return leaf()
+
+                def root():
+                    return mid()
+
+                def island():
+                    return 2
+            """,
+        }))
+        reached = graph.reachable(["repro.a.root"])
+        assert reached == {"repro.a.root", "repro.a.mid", "repro.a.leaf"}
+
+    def test_callgraph_is_cached_on_the_project(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/a.py": "def f():\n    return 1\n",
+        })
+        assert get_callgraph(project) is get_callgraph(project)
+
+
+# -- the committed report ------------------------------------------------------
+
+class TestCommittedReport:
+    def test_report_matches_source_byte_for_byte(self):
+        project = load_project(REPO_ROOT, ["src/repro"])
+        committed = (REPO_ROOT / CALLGRAPH_REPORT_NAME).read_text(
+            encoding="utf-8")
+        assert generate_callgraph_report(project) == committed, (
+            f"{CALLGRAPH_REPORT_NAME} is stale — the call graph changed; "
+            "regenerate with: python -m repro.tools.lint "
+            "--update-callgraph-report"
+        )
+
+    def test_generation_is_deterministic(self):
+        project = load_project(REPO_ROOT, ["src/repro"])
+        assert (generate_callgraph_report(project)
+                == generate_callgraph_report(project))
+
+    def test_report_shape_and_totals(self):
+        doc = json.loads(
+            (REPO_ROOT / CALLGRAPH_REPORT_NAME).read_text(encoding="utf-8"))
+        assert doc["format"] == CALLGRAPH_REPORT_FORMAT
+        totals = doc["totals"]
+        assert totals["functions"] > 0 and totals["classes"] > 0
+        assert totals["call_sites"] >= sum(totals["edges"].values())
+        assert set(totals["edges"]) == {"local", "import", "class", "suffix"}
+        assert "repro.vtpm.mux" in doc["modules"]
+
+    def test_cg001_fires_when_report_missing_or_stale(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/a.py": "def f():\n    return 1\n",
+        })
+        findings = run_rules(project, [CallGraphReportStaleRule()])
+        assert [f.rule for f in findings] == ["CG001"]
+        assert "missing" in findings[0].message
+        (tmp_path / CALLGRAPH_REPORT_NAME).write_text(
+            generate_callgraph_report(project), encoding="utf-8")
+        assert run_rules(project, [CallGraphReportStaleRule()]) == []
+        (tmp_path / CALLGRAPH_REPORT_NAME).write_text("{}\n", encoding="utf-8")
+        findings = run_rules(project, [CallGraphReportStaleRule()])
+        assert "does not match" in findings[0].message

@@ -1,5 +1,6 @@
 """CLI behaviour of ``python -m repro.tools.lint``: exit codes, --json,
---explain, baseline and TCB-report round-trips on a synthetic tree."""
+--explain, --profile, baseline and report round-trips on a synthetic
+tree."""
 
 import json
 import textwrap
@@ -27,17 +28,22 @@ def make_repo(tmp_path, files):
     return tmp_path
 
 
+def write_reports(root):
+    assert main(["--root", str(root), "--update-tcb-report",
+                 "--update-callgraph-report"]) == 0
+
+
 @pytest.fixture
 def clean_repo(tmp_path):
     root = make_repo(tmp_path, {"src/repro/sim/example.py": CLEAN_MODULE})
-    assert main(["--root", str(root), "--update-tcb-report"]) == 0
+    write_reports(root)
     return root
 
 
 @pytest.fixture
 def dirty_repo(tmp_path):
     root = make_repo(tmp_path, {"src/repro/sim/example.py": DIRTY_MODULE})
-    assert main(["--root", str(root), "--update-tcb-report"]) == 0
+    write_reports(root)
     return root
 
 
@@ -50,7 +56,13 @@ class TestExitCodes:
 
     def test_missing_tcb_report_exits_one(self, tmp_path):
         root = make_repo(tmp_path, {"src/repro/sim/example.py": CLEAN_MODULE})
+        assert main(["--root", str(root), "--update-callgraph-report"]) == 0
         assert main(["--root", str(root)]) == 1  # TCB002: report missing
+
+    def test_missing_callgraph_report_exits_one(self, tmp_path):
+        root = make_repo(tmp_path, {"src/repro/sim/example.py": CLEAN_MODULE})
+        assert main(["--root", str(root), "--update-tcb-report"]) == 0
+        assert main(["--root", str(root)]) == 1  # CG001: report missing
 
     def test_unknown_explain_exits_two(self, capsys):
         assert main(["--explain", "NOPE999"]) == 2
@@ -74,7 +86,8 @@ class TestExplain:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("TCB001", "TCB002", "DET001", "DET002", "DET003",
-                        "DET004", "SEC001"):
+                        "DET004", "SEC001", "SEC002", "ISO001", "ISO002",
+                        "RACE001", "CG001", "SUP001"):
             assert rule_id in out
 
 
@@ -93,6 +106,28 @@ class TestJsonOutput:
         assert main(["--root", str(clean_repo), "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["findings"] == []
 
+    def test_json_reports_rule_timings(self, clean_repo, capsys):
+        assert main(["--root", str(clean_repo), "--json"]) == 0
+        timings = json.loads(capsys.readouterr().out)["meta"]["rule_timings"]
+        assert set(timings) == {rule.id for rule in all_rules()}
+        for stat in timings.values():
+            assert stat["wall_ms"] >= 0
+            assert stat["findings"] >= 0
+
+    def test_json_timings_count_findings(self, dirty_repo, capsys):
+        assert main(["--root", str(dirty_repo), "--json"]) == 1
+        timings = json.loads(capsys.readouterr().out)["meta"]["rule_timings"]
+        assert timings["DET001"]["findings"] == 1
+
+
+class TestProfile:
+    def test_profile_prints_rule_timings(self, clean_repo, capsys):
+        assert main(["--root", str(clean_repo), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "rule timings" in out
+        for rule in all_rules():
+            assert rule.id in out
+
 
 class TestBaselineFlow:
     def test_update_baseline_then_clean(self, dirty_repo, capsys):
@@ -105,7 +140,7 @@ class TestBaselineFlow:
         assert main(["--root", str(dirty_repo), "--update-baseline"]) == 0
         extra = dirty_repo / "src/repro/sim/fresh.py"
         extra.write_text(DIRTY_MODULE, encoding="utf-8")
-        assert main(["--root", str(dirty_repo), "--update-tcb-report"]) == 0
+        write_reports(dirty_repo)
         assert main(["--root", str(dirty_repo)]) == 1
 
     def test_explicit_baseline_path(self, dirty_repo, tmp_path):
@@ -129,6 +164,28 @@ class TestTCBReportFlow:
         extra = clean_repo / "src/repro/core/modules/extra.py"
         extra.parent.mkdir(parents=True, exist_ok=True)
         extra.write_text(CLEAN_MODULE, encoding="utf-8")
-        assert main(["--root", str(clean_repo)]) == 1  # TCB002 fires
-        assert main(["--root", str(clean_repo), "--update-tcb-report"]) == 0
+        assert main(["--root", str(clean_repo)]) == 1  # TCB002 + CG001 fire
+        write_reports(clean_repo)
+        assert main(["--root", str(clean_repo)]) == 0
+
+
+class TestCallgraphReportFlow:
+    def test_report_regeneration_is_byte_identical(self, clean_repo):
+        report = clean_repo / "ANALYSIS_callgraph.json"
+        first = report.read_bytes()
+        assert main(["--root", str(clean_repo),
+                     "--update-callgraph-report"]) == 0
+        assert report.read_bytes() == first
+
+    def test_new_call_stales_report(self, clean_repo):
+        assert main(["--root", str(clean_repo)]) == 0
+        # A new caller changes the committed call graph, so CG001 fires
+        # until the report is regenerated.
+        extra = clean_repo / "src/repro/sim/caller.py"
+        extra.write_text("from repro.sim.example import now\n"
+                         "def later(clock):\n"
+                         "    return now(clock)\n", encoding="utf-8")
+        assert main(["--root", str(clean_repo)]) == 1  # CG001 fires
+        assert main(["--root", str(clean_repo),
+                     "--update-callgraph-report"]) == 0
         assert main(["--root", str(clean_repo)]) == 0

@@ -228,6 +228,65 @@ class TestSecretFlow:
                 return key
         """) == []
 
+    def test_raise_of_name_bound_from_tainted_fstring_flagged(self):
+        # The leak hides one binding away: the f-string taints ``err``,
+        # and ``raise err`` publishes it.
+        assert rules_of(analyze("""
+            def check(tpm, blob):
+                secret = tpm.unseal(blob)
+                err = ValueError(f"bad secret {secret!r}")
+                raise err
+        """)) == ["SEC001"]
+
+    def test_raise_of_sanitized_message_ok(self):
+        assert analyze("""
+            def check(tpm, blob, sha1):
+                secret = tpm.unseal(blob)
+                err = ValueError(f"bad secret, digest {sha1(secret)}")
+                raise err
+        """) == []
+
+    def test_augmented_accumulation_flagged(self):
+        # ``+=`` in a loop re-binds the accumulator from itself plus the
+        # secret; the taint must survive the self-reference.
+        assert rules_of(analyze("""
+            def collect(tpm, blobs, log):
+                out = b""
+                for blob in blobs:
+                    out += tpm.unseal(blob)
+                log.info(out)
+        """)) == ["SEC001"]
+
+    def test_augmented_accumulation_of_lengths_ok(self):
+        assert analyze("""
+            def collect(tpm, blobs, log):
+                total = 0
+                for blob in blobs:
+                    key = tpm.unseal(blob)
+                    total += len(key)
+                log.info(total)
+        """) == []
+
+    def test_hex_is_an_encoding_not_a_digest(self):
+        # ``.hex()`` of a secret is the secret; only real measurement
+        # functions (sha1/len/...) sanitize.
+        assert rules_of(analyze("""
+            def run(tpm, blob):
+                key = tpm.unseal(blob)
+                print(key.hex())
+        """)) == ["SEC001"]
+
+    def test_taint_defined_below_its_use_in_a_loop_flagged(self):
+        # A single top-down sweep misses this: the tainting assignment
+        # sits below the re-binding that feeds the sink.
+        assert rules_of(analyze("""
+            def churn(tpm, blobs, log):
+                for blob in blobs:
+                    copy = key
+                    log.info(copy)
+                    key = tpm.unseal(blob)
+        """)) == ["SEC001"]
+
 
 # -- TCB001: forbidden imports (needs a multi-file project) --------------------
 
